@@ -1,0 +1,49 @@
+"""Ablation — the Ω-bounded heap's memory/time trade-off (Section 5.1).
+
+The paper bounds each resumable TA search's candidate heap to
+Ω = ω·|F| and tunes ω = 2.5% for its experiments.  This ablation
+sweeps ω: smaller bounds shrink the retained TA state (memory down)
+but force from-scratch restarts when a search's candidates are
+exhausted by kills (CPU up); ``None`` disables the bound.
+
+Expected shape: peak memory monotonically non-decreasing in ω;
+restarts monotonically non-increasing; the matching identical at
+every setting.
+"""
+
+import pytest
+
+from repro.bench.config import defaults
+from repro.bench.harness import make_instance
+
+from repro.bench.pytest_support import bench_cell
+
+D = defaults()
+
+OMEGA_SWEEP = [0.005, 0.01, 0.025, 0.05, None]
+
+_memory: dict[object, int] = {}
+_restarts: dict[object, int] = {}
+_matchings: dict[object, dict] = {}
+
+
+@pytest.mark.benchmark(group="ablation-omega")
+@pytest.mark.parametrize("omega", OMEGA_SWEEP, ids=lambda o: f"omega={o}")
+def test_ablation_omega(benchmark, omega):
+    functions, objects = make_instance(
+        D.nf, D.no, D.dims, D.distribution, seed=55
+    )
+    matching, stats = bench_cell(
+        benchmark, "sb", functions, objects, omega_fraction=omega
+    )
+    _memory[omega] = stats.peak_memory_bytes
+    _restarts[omega] = stats.counters["ta_restarts"]
+    _matchings[omega] = matching.as_dict()
+    # Identical result at every omega.
+    first = next(iter(_matchings.values()))
+    assert matching.as_dict() == first
+    # The unbounded search never restarts.
+    if omega is None:
+        assert stats.counters["ta_restarts"] == 0
+        # ... and retains at least as much state as any bounded run.
+        assert all(m <= _memory[None] for m in _memory.values())

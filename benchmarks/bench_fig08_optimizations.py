@@ -1,0 +1,37 @@
+"""Figure 8 — effectiveness of the Section 5 optimizations.
+
+Anti-correlated data, |F| = 1000 (scaled), D in {3, 4, 5}:
+
+- ``sb-deltasky``  — Algorithm 1 with DeltaSky maintenance;
+- ``sb-update``    — Algorithm 1 with UpdateSkyline (Section 5.2);
+- ``sb``           — fully optimized (5.1 best-pair search + 5.3
+  multi-pair loops on top of UpdateSkyline).
+
+Expected shape: SB-UpdateSkyline an order of magnitude less I/O than
+SB-DeltaSky; SB and SB-UpdateSkyline identical I/O; SB clearly
+fastest in CPU.
+"""
+
+import pytest
+
+from repro.bench.config import DIMS_SWEEP_FIG8, defaults
+from repro.bench.harness import make_instance
+
+from repro.bench.pytest_support import bench_cell
+
+D = defaults()
+# The paper fixes |F|=1000 for this figure (DeltaSky is slow).
+NF = max(2, 1000 // D.divisor)
+
+VARIANTS = ["sb", "sb-update", "sb-deltasky"]
+
+
+@pytest.mark.benchmark(group="fig08-optimizations")
+@pytest.mark.parametrize("dims", DIMS_SWEEP_FIG8)
+@pytest.mark.parametrize("variant", VARIANTS)
+def test_fig08(benchmark, variant, dims):
+    functions, objects = make_instance(
+        NF, D.no, dims, D.distribution, seed=8
+    )
+    matching, stats = bench_cell(benchmark, variant, functions, objects)
+    assert matching.num_units == min(len(functions), len(objects))

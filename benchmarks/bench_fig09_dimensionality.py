@@ -1,0 +1,30 @@
+"""Figure 9 — effect of dimensionality D, all three data types.
+
+D in {3, 4, 5, 6} x {independent, correlated, anti-correlated} for
+SB, Brute Force and Chain; the paper reports I/O (a-c), CPU (d-f) and
+memory (g-i).  Expected shapes: SB 2-3 orders of magnitude fewer
+I/Os; Brute Force < Chain in I/O; Chain slowest in CPU; Brute Force
+by far the most memory; all costs grow with D (dimensionality curse).
+"""
+
+import pytest
+
+from repro.bench.config import DIMS_SWEEP, defaults
+from repro.bench.harness import make_instance
+
+from repro.bench.pytest_support import bench_cell
+
+D = defaults()
+
+METHODS = ["sb", "brute-force", "chain"]
+DISTRIBUTIONS = ["independent", "correlated", "anti-correlated"]
+
+
+@pytest.mark.benchmark(group="fig09-dimensionality")
+@pytest.mark.parametrize("distribution", DISTRIBUTIONS)
+@pytest.mark.parametrize("dims", DIMS_SWEEP)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig09(benchmark, method, dims, distribution):
+    functions, objects = make_instance(D.nf, D.no, dims, distribution, seed=9)
+    matching, stats = bench_cell(benchmark, method, functions, objects)
+    assert matching.num_units == min(len(functions), len(objects))

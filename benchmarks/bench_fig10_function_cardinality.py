@@ -1,0 +1,27 @@
+"""Figure 10 — effect of the number of functions |F| (anti-correlated).
+
+Paper sweep {1, 2.5, 5, 10, 20}k, scaled.  Expected shape: all costs
+grow with |F| (more stable pairs to compute), but SB's I/O stays
+nearly flat (the paper measures 4030 -> 5135 page reads over a 20x
+|F| range) while Brute Force and Chain degrade sharply.
+"""
+
+import pytest
+
+from repro.bench.config import defaults
+from repro.bench.harness import make_instance
+
+from repro.bench.pytest_support import bench_cell
+
+D = defaults()
+
+METHODS = ["sb", "brute-force", "chain"]
+
+
+@pytest.mark.benchmark(group="fig10-function-cardinality")
+@pytest.mark.parametrize("nf", D.f_sweep())
+@pytest.mark.parametrize("method", METHODS)
+def test_fig10(benchmark, method, nf):
+    functions, objects = make_instance(nf, D.no, D.dims, D.distribution, seed=10)
+    matching, stats = bench_cell(benchmark, method, functions, objects)
+    assert matching.num_units == min(len(functions), len(objects))

@@ -1,0 +1,27 @@
+"""Figure 11 — effect of the number of objects |O| (anti-correlated).
+
+Paper sweep {10, 50, 100, 200, 400}k, scaled.  Expected shape: both
+I/O and CPU grow with |O| for everyone (top-1 and skyline searches
+cost more), with SB two orders of magnitude below the baselines in
+I/O and several times faster in CPU.
+"""
+
+import pytest
+
+from repro.bench.config import defaults
+from repro.bench.harness import make_instance
+
+from repro.bench.pytest_support import bench_cell
+
+D = defaults()
+
+METHODS = ["sb", "brute-force", "chain"]
+
+
+@pytest.mark.benchmark(group="fig11-object-cardinality")
+@pytest.mark.parametrize("no", D.o_sweep())
+@pytest.mark.parametrize("method", METHODS)
+def test_fig11(benchmark, method, no):
+    functions, objects = make_instance(D.nf, no, D.dims, D.distribution, seed=11)
+    matching, stats = bench_cell(benchmark, method, functions, objects)
+    assert matching.num_units == min(len(functions), len(objects))

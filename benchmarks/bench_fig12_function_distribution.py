@@ -1,0 +1,30 @@
+"""Figure 12 — effect of the function weight distribution.
+
+Function weights drawn from C Gaussian clusters (sigma = 0.05 around
+random centers), C in {1, 3, 5, 7, 9}.  Expected shape: SB keeps its
+two-orders-of-magnitude I/O advantage for every C; C = 1 is the most
+CPU-intensive case (maximum skew -> maximum competition for the same
+objects -> more conflicts per stable pair).
+"""
+
+import pytest
+
+from repro.bench.config import CLUSTER_SWEEP, defaults
+from repro.bench.harness import make_instance
+
+from repro.bench.pytest_support import bench_cell
+
+D = defaults()
+
+METHODS = ["sb", "brute-force", "chain"]
+
+
+@pytest.mark.benchmark(group="fig12-function-distribution")
+@pytest.mark.parametrize("clusters", CLUSTER_SWEEP)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig12(benchmark, method, clusters):
+    functions, objects = make_instance(
+        D.nf, D.no, D.dims, D.distribution, seed=12, n_clusters=clusters
+    )
+    matching, stats = bench_cell(benchmark, method, functions, objects)
+    assert matching.num_units == min(len(functions), len(objects))

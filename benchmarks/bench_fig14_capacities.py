@@ -1,0 +1,42 @@
+"""Figure 14 — functions and objects with capacities (Section 6.1).
+
+(a, b): function capacity k in {2, 4, 8, 16} — the problem grows to
+k·|F| stable units, so every method's costs increase with k.
+(c, d): object capacity k — costs *decrease* slightly, because a
+popular object serves several functions before leaving the problem
+(fewer top-1 searches / skyline updates).
+"""
+
+import pytest
+
+from repro.bench.config import CAPACITY_SWEEP, defaults
+from repro.bench.harness import make_instance
+
+from repro.bench.pytest_support import bench_cell
+
+D = defaults()
+
+METHODS = ["sb", "brute-force", "chain"]
+
+
+@pytest.mark.benchmark(group="fig14ab-function-capacity")
+@pytest.mark.parametrize("k", CAPACITY_SWEEP)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig14_function_capacity(benchmark, method, k):
+    functions, objects = make_instance(
+        D.nf, D.no, D.dims, D.distribution, seed=14, function_capacity=k
+    )
+    matching, stats = bench_cell(benchmark, method, functions, objects)
+    expected = min(functions.total_capacity, objects.total_capacity)
+    assert matching.num_units == expected
+
+
+@pytest.mark.benchmark(group="fig14cd-object-capacity")
+@pytest.mark.parametrize("k", CAPACITY_SWEEP)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig14_object_capacity(benchmark, method, k):
+    functions, objects = make_instance(
+        D.nf, D.no, D.dims, D.distribution, seed=14, object_capacity=k
+    )
+    matching, stats = bench_cell(benchmark, method, functions, objects)
+    assert matching.num_units == len(functions)

@@ -1,0 +1,36 @@
+"""Figure 15 — preference queries with priorities (Section 6.2).
+
+Priorities drawn uniformly from [1..γ], γ in {2, 4, 8, 16}.  Expected
+shapes: I/O practically independent of γ, with plain SB and the
+two-skyline SB identical in I/O; plain SB's CPU grows with γ (the
+knapsack threshold loosens as B = max γ); the two-skyline variant is
+several times faster in CPU and uses the least memory.
+"""
+
+import pytest
+
+from repro.bench.config import PRIORITY_SWEEP, defaults
+from repro.bench.harness import make_instance
+
+from repro.bench.pytest_support import bench_cell
+
+D = defaults()
+
+METHODS = ["sb", "sb-two-skylines", "brute-force", "chain"]
+
+_io: dict[tuple[str, int], int] = {}
+
+
+@pytest.mark.benchmark(group="fig15-priorities")
+@pytest.mark.parametrize("gamma", PRIORITY_SWEEP)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig15(benchmark, method, gamma):
+    functions, objects = make_instance(
+        D.nf, D.no, D.dims, D.distribution, seed=15, max_priority=gamma
+    )
+    matching, stats = bench_cell(benchmark, method, functions, objects)
+    assert matching.num_units == min(len(functions), len(objects))
+    _io[(method, gamma)] = stats.io_accesses
+    # "The disk accesses of the two SB versions are identical."
+    if method == "sb-two-skylines" and ("sb", gamma) in _io:
+        assert stats.io_accesses == _io[("sb", gamma)]

@@ -1,0 +1,46 @@
+"""Figure 16 — real datasets (Section 7.5), via the documented
+synthetic substitutes of :mod:`repro.data.real` (DESIGN.md §5).
+
+(a, b): Zillow-like skewed housing data, |O| swept as in Figure 11.
+The paper's observation: skew hurts the top-1-search methods' CPU
+even more than synthetic data, while SB is unaffected.
+
+(c, d): NBA-like player stats (|O| = 12,278 scaled) under function
+capacities k in {1, 5, 9, 12}, as a capacitated assignment.
+"""
+
+import pytest
+
+from repro.bench.config import NBA_CAPACITY_SWEEP, defaults
+from repro.bench.harness import make_instance
+
+from repro.bench.pytest_support import bench_cell
+
+D = defaults()
+
+METHODS = ["sb", "brute-force", "chain"]
+
+# The paper uses |F|=1000 with NBA's 12,278 players; scale both.
+NBA_N = max(200, 12278 // D.divisor)
+NBA_NF = max(2, 1000 // D.divisor)
+
+
+@pytest.mark.benchmark(group="fig16ab-zillow")
+@pytest.mark.parametrize("no", D.o_sweep())
+@pytest.mark.parametrize("method", METHODS)
+def test_fig16_zillow(benchmark, method, no):
+    functions, objects = make_instance(D.nf, no, 5, seed=16, real="zillow")
+    matching, stats = bench_cell(benchmark, method, functions, objects)
+    assert matching.num_units == min(len(functions), len(objects))
+
+
+@pytest.mark.benchmark(group="fig16cd-nba")
+@pytest.mark.parametrize("k", NBA_CAPACITY_SWEEP)
+@pytest.mark.parametrize("method", METHODS)
+def test_fig16_nba(benchmark, method, k):
+    functions, objects = make_instance(
+        NBA_NF, NBA_N, 5, seed=16, real="nba", function_capacity=k
+    )
+    matching, stats = bench_cell(benchmark, method, functions, objects)
+    expected = min(functions.total_capacity, objects.total_capacity)
+    assert matching.num_units == expected

@@ -1,0 +1,42 @@
+"""Table 2 defaults: all methods at the default parameter point.
+
+The reference configuration every figure varies around: |F|=5k,
+|O|=100k (scaled), D=4, anti-correlated objects, capacity 1, γ=1,
+2% LRU buffer.  Also asserts the paper's headline ordering — SB's
+I/O is orders of magnitude below Brute Force and Chain — so the
+benchmark suite fails loudly if the reproduction ever regresses.
+"""
+
+import pytest
+
+from repro.bench.config import defaults
+from repro.bench.harness import make_instance
+
+from repro.bench.pytest_support import bench_cell
+
+D = defaults()
+
+METHODS = ["sb", "sb-update", "sb-deltasky", "brute-force", "chain"]
+
+_io_results: dict[str, int] = {}
+
+
+@pytest.mark.benchmark(group="table2-defaults")
+@pytest.mark.parametrize("method", METHODS)
+def test_table2_defaults(benchmark, method):
+    functions, objects = make_instance(
+        D.nf, D.no, D.dims, D.distribution, seed=2
+    )
+    matching, stats = bench_cell(benchmark, method, functions, objects)
+    assert matching.num_units == min(len(functions), len(objects))
+    _io_results[method] = stats.io_accesses
+
+
+def test_headline_io_ordering():
+    """SB << Brute Force < Chain (Figures 9-13)."""
+    if len(_io_results) < len(METHODS):  # pragma: no cover
+        pytest.skip("run with --benchmark-only to populate results")
+    assert _io_results["sb"] * 10 < _io_results["brute-force"]
+    assert _io_results["brute-force"] < _io_results["chain"]
+    assert _io_results["sb"] == _io_results["sb-update"]
+    assert _io_results["sb-update"] < _io_results["sb-deltasky"]

@@ -1,0 +1,23 @@
+"""Shared fixtures for the per-figure benchmark suites.
+
+Scale is controlled by ``REPRO_BENCH_SCALE`` (small | medium | paper);
+see :mod:`repro.bench.config`.  The measurement helper lives in
+:mod:`repro.bench.pytest_support`.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.config import current_scale, defaults
+
+
+@pytest.fixture(scope="session", autouse=True)
+def announce_scale():
+    d = defaults()
+    print(
+        f"\n[repro benchmarks] scale={current_scale()} "
+        f"|F|={d.nf} |O|={d.no} D={d.dims} {d.distribution} "
+        f"buffer={d.buffer_fraction:.0%}"
+    )
+    yield

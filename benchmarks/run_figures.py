@@ -1,0 +1,241 @@
+#!/usr/bin/env python3
+"""Regenerate every paper figure as a text table (for EXPERIMENTS.md).
+
+Runs the same cells as the pytest-benchmark suites but prints
+paper-style series tables — one block per figure, one row per
+algorithm, one column per sweep value, for each of the paper's three
+metrics (I/O page reads, CPU seconds, peak search memory).
+
+Usage:
+    python benchmarks/run_figures.py                 # all figures
+    python benchmarks/run_figures.py fig09 fig13     # a subset
+    REPRO_BENCH_SCALE=medium python benchmarks/run_figures.py
+"""
+
+from __future__ import annotations
+
+import math
+import sys
+import time
+
+from repro.bench.config import (
+    BUFFER_SWEEP,
+    CAPACITY_SWEEP,
+    CLUSTER_SWEEP,
+    DIMS_SWEEP,
+    DIMS_SWEEP_FIG8,
+    NBA_CAPACITY_SWEEP,
+    PRIORITY_SWEEP,
+    current_scale,
+    defaults,
+)
+from repro.bench.harness import make_instance, run_cell
+from repro.bench.reporting import print_series
+
+D = defaults()
+BASELINES = ["sb", "brute-force", "chain"]
+
+
+def sweep(title, sweep_name, values, methods, cell_args):
+    """Run methods x values and print the series tables."""
+    cells = []
+    for value in values:
+        for method in methods:
+            functions, objects, kwargs = cell_args(method, value)
+            cell = run_cell(
+                method, functions, objects,
+                params={sweep_name: value}, **kwargs,
+            )
+            cells.append(cell)
+    print_series(title, sweep_name, values, cells)
+    return cells
+
+
+def fig08():
+    nf = max(2, 1000 // D.divisor)
+    def args(method, dims):
+        f, o = make_instance(nf, D.no, dims, D.distribution, seed=8)
+        return f, o, {}
+    sweep(
+        f"Figure 8 - optimizations ({D.distribution}, |F|={nf}, |O|={D.no})",
+        "D", DIMS_SWEEP_FIG8, ["sb", "sb-update", "sb-deltasky"], args,
+    )
+
+
+def fig09():
+    for dist in ("independent", "correlated", "anti-correlated"):
+        def args(method, dims, dist=dist):
+            f, o = make_instance(D.nf, D.no, dims, dist, seed=9)
+            return f, o, {}
+        sweep(
+            f"Figure 9 - dimensionality ({dist}, |F|={D.nf}, |O|={D.no})",
+            "D", DIMS_SWEEP, BASELINES, args,
+        )
+
+
+def fig10():
+    def args(method, nf):
+        f, o = make_instance(nf, D.no, D.dims, D.distribution, seed=10)
+        return f, o, {}
+    sweep(
+        f"Figure 10 - function cardinality ({D.distribution}, |O|={D.no})",
+        "|F|", D.f_sweep(), BASELINES, args,
+    )
+
+
+def fig11():
+    def args(method, no):
+        f, o = make_instance(D.nf, no, D.dims, D.distribution, seed=11)
+        return f, o, {}
+    sweep(
+        f"Figure 11 - object cardinality ({D.distribution}, |F|={D.nf})",
+        "|O|", D.o_sweep(), BASELINES, args,
+    )
+
+
+def fig12():
+    def args(method, c):
+        f, o = make_instance(
+            D.nf, D.no, D.dims, D.distribution, seed=12, n_clusters=c
+        )
+        return f, o, {}
+    sweep(
+        f"Figure 12 - clustered weights ({D.distribution})",
+        "C", CLUSTER_SWEEP, BASELINES, args,
+    )
+
+
+def fig13():
+    def args(method, frac):
+        f, o = make_instance(D.nf, D.no, D.dims, D.distribution, seed=13)
+        return f, o, {"buffer_fraction": frac}
+    sweep(
+        f"Figure 13 - buffer size ({D.distribution})",
+        "buffer", BUFFER_SWEEP, BASELINES, args,
+    )
+
+
+def fig14():
+    def args_f(method, k):
+        f, o = make_instance(
+            D.nf, D.no, D.dims, D.distribution, seed=14, function_capacity=k
+        )
+        return f, o, {}
+    sweep(
+        "Figure 14(a,b) - function capacity",
+        "k", CAPACITY_SWEEP, BASELINES, args_f,
+    )
+
+    def args_o(method, k):
+        f, o = make_instance(
+            D.nf, D.no, D.dims, D.distribution, seed=14, object_capacity=k
+        )
+        return f, o, {}
+    sweep(
+        "Figure 14(c,d) - object capacity",
+        "k", CAPACITY_SWEEP, BASELINES, args_o,
+    )
+
+
+def fig15():
+    def args(method, gamma):
+        f, o = make_instance(
+            D.nf, D.no, D.dims, D.distribution, seed=15, max_priority=gamma
+        )
+        return f, o, {}
+    sweep(
+        "Figure 15 - priorities",
+        "gamma", PRIORITY_SWEEP,
+        ["sb", "sb-two-skylines", "brute-force", "chain"], args,
+    )
+
+
+def fig16():
+    def args_z(method, no):
+        f, o = make_instance(D.nf, no, 5, seed=16, real="zillow")
+        return f, o, {}
+    sweep(
+        f"Figure 16(a,b) - Zillow-like (|F|={D.nf})",
+        "|O|", D.o_sweep(), BASELINES, args_z,
+    )
+
+    nba_n = max(200, 12278 // D.divisor)
+    nba_nf = max(2, 1000 // D.divisor)
+
+    def args_n(method, k):
+        f, o = make_instance(
+            nba_nf, nba_n, 5, seed=16, real="nba", function_capacity=k
+        )
+        return f, o, {}
+    sweep(
+        f"Figure 16(c,d) - NBA-like (|F|={nba_nf}, |O|={nba_n})",
+        "k", NBA_CAPACITY_SWEEP, BASELINES, args_n,
+    )
+
+
+def fig17():
+    nf, no = D.no, D.nf  # swapped cardinalities
+    for dist in ("independent", "anti-correlated"):
+        def args(method, dims, dist=dist):
+            f, o = make_instance(nf, no, dims, dist, seed=17)
+            kwargs: dict = {"memory_index": True}
+            if method == "sb-alt":
+                kwargs["page_size"] = 4096
+            elif method == "sb":
+                kwargs["paged_function_lists"] = 4096
+            elif method == "brute-force":
+                kwargs["function_scan_pages"] = math.ceil(nf * dims * 16 / 4096)
+            elif method == "chain":
+                kwargs["disk_function_tree"] = True
+            return f, o, kwargs
+        sweep(
+            f"Figure 17 - disk-resident F ({dist}, |F|={nf}, |O|={no})",
+            "D", DIMS_SWEEP,
+            ["sb-alt", "sb", "brute-force", "chain"], args,
+        )
+
+
+def table2():
+    def args(method, _):
+        f, o = make_instance(D.nf, D.no, D.dims, D.distribution, seed=2)
+        return f, o, {}
+    sweep(
+        f"Table 2 defaults (|F|={D.nf}, |O|={D.no}, D={D.dims}, "
+        f"{D.distribution}, buffer {D.buffer_fraction:.0%})",
+        "point", ["default"],
+        ["sb", "sb-update", "sb-deltasky", "brute-force", "chain"], args,
+    )
+
+
+FIGURES = {
+    "table2": table2,
+    "fig08": fig08,
+    "fig09": fig09,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "fig13": fig13,
+    "fig14": fig14,
+    "fig15": fig15,
+    "fig16": fig16,
+    "fig17": fig17,
+}
+
+
+def main(argv: list[str]) -> None:
+    wanted = argv or list(FIGURES)
+    unknown = [w for w in wanted if w not in FIGURES]
+    if unknown:
+        raise SystemExit(f"unknown figures {unknown}; choose from {list(FIGURES)}")
+    print(
+        f"repro evaluation - scale={current_scale()} "
+        f"(defaults |F|={D.nf}, |O|={D.no}, D={D.dims})\n"
+    )
+    started = time.perf_counter()
+    for name in wanted:
+        FIGURES[name]()
+    print(f"total wall time: {time.perf_counter() - started:.1f}s")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Classroom allocation: comparing SB against the baselines.
+
+The paper's second motivating scenario: before each semester,
+instructors declare preferences over classroom capacity, location,
+equipment and acoustics, and a central system computes a fair
+assignment.  This example runs the same instance through SB, Brute
+Force and Chain, verifies they agree, and prints the cost comparison
+that motivates the paper (orders of magnitude of I/O).
+
+Run:  python examples/classroom_allocation.py
+"""
+
+import numpy as np
+
+from repro import FunctionSet, ObjectSet, build_object_index, solve
+
+RNG = np.random.default_rng(7)
+
+N_ROOMS = 5000
+N_INSTRUCTORS = 150
+
+
+def make_rooms() -> ObjectSet:
+    """Rooms: big rooms are central but poorly equipped (the
+    anti-correlated reality of campus estates)."""
+    capacity = RNG.random(N_ROOMS)
+    location = np.clip(1 - capacity + RNG.normal(0, 0.2, N_ROOMS), 0, 1)
+    equipment = np.clip(1 - capacity + RNG.normal(0, 0.25, N_ROOMS), 0, 1)
+    acoustics = RNG.random(N_ROOMS)
+    pts = np.stack([capacity, location, equipment, acoustics], axis=1)
+    return ObjectSet([tuple(p) for p in pts])
+
+
+def make_instructors() -> FunctionSet:
+    raw = RNG.random((N_INSTRUCTORS, 4))
+    weights = raw / raw.sum(axis=1, keepdims=True)
+    return FunctionSet([tuple(w) for w in weights])
+
+
+def main() -> None:
+    rooms = make_rooms()
+    instructors = make_instructors()
+
+    results = {}
+    for method in ("sb", "brute-force", "chain"):
+        index = build_object_index(rooms, buffer_fraction=0.02)
+        results[method] = solve(instructors, index, method=method)
+
+    reference = results["sb"].matching.as_dict()
+    for method, result in results.items():
+        assert result.matching.as_dict() == reference, method
+    print(f"All three algorithms agree on the same stable assignment "
+          f"of {len(reference)} rooms.\n")
+
+    print(f"{'method':14s} {'page reads':>12s} {'CPU (s)':>9s} "
+          f"{'peak mem (KiB)':>15s} {'loops':>7s}")
+    for method, result in results.items():
+        s = result.stats
+        print(f"{method:14s} {s.io_accesses:12d} {s.cpu_seconds:9.2f} "
+              f"{s.peak_memory_bytes / 1024:15.0f} {s.loops:7d}")
+
+    sb_io = results["sb"].stats.io_accesses
+    bf_io = results["brute-force"].stats.io_accesses
+    ch_io = results["chain"].stats.io_accesses
+    print(f"\nSB reads {bf_io / max(sb_io, 1):.0f}x fewer pages than "
+          f"Brute Force and {ch_io / max(sb_io, 1):.0f}x fewer than Chain "
+          f"— the paper's headline result.")
+
+
+if __name__ == "__main__":
+    main()

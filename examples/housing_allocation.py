@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Public-housing allocation on Zillow-like real-estate data.
+
+The paper's house-allocation motivation (and its Zillow experiment,
+Section 7.5): a government releases housing units; applicants weight
+bedrooms, bathrooms, living area, price-value and lot size; identical
+units in one block form a capacitated object.  Skewed, correlated
+real-estate data is exactly where the top-1-search baselines suffer
+and SB's skyline processing shines.
+
+Run:  python examples/housing_allocation.py
+"""
+
+import numpy as np
+
+from repro import FunctionSet, ObjectSet, build_object_index, solve
+from repro.data.real import zillow_like
+
+RNG = np.random.default_rng(1054)
+
+N_LISTINGS = 20_000
+N_APPLICANTS = 400
+ATTRS = ["bedrooms", "bathrooms", "living area", "price value", "lot size"]
+
+
+def make_housing_stock() -> ObjectSet:
+    base = zillow_like(N_LISTINGS, seed=65)
+    # Blocks of identical flats: capacity 1-8 per listing.
+    capacities = RNG.integers(1, 9, N_LISTINGS).tolist()
+    return ObjectSet(base.points, capacities=capacities)
+
+
+def make_applicants() -> FunctionSet:
+    """Applicant archetypes: families want space, singles want value."""
+    archetypes = np.array([
+        [0.30, 0.15, 0.30, 0.10, 0.15],  # family
+        [0.05, 0.05, 0.25, 0.55, 0.10],  # value hunter
+        [0.15, 0.25, 0.35, 0.15, 0.10],  # comfort seeker
+    ])
+    choice = RNG.integers(0, len(archetypes), N_APPLICANTS)
+    raw = np.clip(archetypes[choice] + RNG.normal(0, 0.04, (N_APPLICANTS, 5)),
+                  1e-6, None)
+    weights = raw / raw.sum(axis=1, keepdims=True)
+    return FunctionSet([tuple(w) for w in weights])
+
+
+def main() -> None:
+    stock = make_housing_stock()
+    applicants = make_applicants()
+    print(f"{N_APPLICANTS} applicants, {N_LISTINGS} listings "
+          f"({stock.total_capacity} units total).")
+
+    index = build_object_index(stock, buffer_fraction=0.02)
+    matching, stats = solve(applicants, index, method="sb")
+
+    print(f"\nAll {matching.num_units} applicants housed via "
+          f"{len(matching.pairs)} (applicant, listing) pairs.")
+
+    scores = sorted(
+        (p.score for p in matching.pairs for _ in range(p.count)), reverse=True
+    )
+    print(f"Satisfaction: best {scores[0]:.3f}, "
+          f"median {scores[len(scores) // 2]:.3f}, worst {scores[-1]:.3f}.")
+
+    # Which attributes did the best-served applicants care about?
+    top = matching.pairs[0]
+    w = applicants.weights[top.fid]
+    fav = max(range(5), key=lambda i: w[i])
+    print(f"First assignment: applicant {top.fid} "
+          f"(cares most about {ATTRS[fav]}) -> listing {top.oid}.")
+
+    print(f"\nSolver cost on this skewed real-estate workload: "
+          f"{stats.io_accesses} page reads, {stats.loops} loops, "
+          f"{stats.cpu_seconds:.2f}s CPU.")
+    print("(Compare with Figure 16: Brute Force/Chain pay ~100x more "
+          "I/O here; run examples/classroom_allocation.py for a "
+          "side-by-side.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Internship assignment with capacities and student priorities.
+
+The paper's running scenario, at a realistic scale: companies publish
+positions described by salary, standing, mentoring and flexibility
+scores; identical openings at one company are a single object with a
+capacity (Section 6.1).  Students weight the four attributes and carry
+a priority equal to their year of study (Section 6.2) — a 4th-year
+student beats a 2nd-year student competing for the same position.
+
+Run:  python examples/internship_assignment.py
+"""
+
+import numpy as np
+
+from repro import FunctionSet, ObjectSet, build_object_index, solve
+
+RNG = np.random.default_rng(2009)
+
+N_COMPANIES = 400
+N_STUDENTS = 300
+ATTRS = ["salary", "standing", "mentoring", "flexibility"]
+
+
+def make_positions() -> tuple[ObjectSet, list[str]]:
+    """Companies with anti-correlated salary/standing (startups pay,
+    blue chips impress) and a capacity of 1-5 identical openings."""
+    salary = RNG.random(N_COMPANIES)
+    standing = np.clip(1.0 - salary + RNG.normal(0, 0.15, N_COMPANIES), 0, 1)
+    mentoring = RNG.random(N_COMPANIES)
+    flexibility = RNG.random(N_COMPANIES)
+    points = np.stack([salary, standing, mentoring, flexibility], axis=1)
+    capacities = RNG.integers(1, 6, N_COMPANIES).tolist()
+    names = [f"company-{i:03d}" for i in range(N_COMPANIES)]
+    return ObjectSet([tuple(p) for p in points], capacities=capacities), names
+
+
+def make_students() -> tuple[FunctionSet, list[str]]:
+    """Students fill the paper's Table 1 form: 1-5 stars per attribute,
+    normalized to weights; seniority (year 1-4) becomes the priority."""
+    stars = RNG.integers(1, 6, (N_STUDENTS, len(ATTRS))).astype(float)
+    weights = stars / stars.sum(axis=1, keepdims=True)
+    years = RNG.integers(1, 5, N_STUDENTS)
+    names = [f"student-{i:03d} (year {y})" for i, y in enumerate(years)]
+    return (
+        FunctionSet([tuple(w) for w in weights], gammas=[float(y) for y in years]),
+        names,
+    )
+
+
+def main() -> None:
+    positions, company_names = make_positions()
+    students, student_names = make_students()
+
+    index = build_object_index(positions)
+    matching, stats = solve(students, index, method="sb")
+
+    print(f"{matching.num_units} of {N_STUDENTS} students placed across "
+          f"{len(matching.pairs)} (student, company) pairs.\n")
+
+    print("First ten assignments in stable order:")
+    for pair in matching.pairs[:10]:
+        print(f"  {student_names[pair.fid]:26s} -> {company_names[pair.oid]}"
+              f"   score {pair.score:.3f}")
+
+    # Seniority should visibly pay off: compare mean raw (un-scaled)
+    # satisfaction by year.
+    year_scores: dict[int, list[float]] = {1: [], 2: [], 3: [], 4: []}
+    for pair in matching.pairs:
+        year = int(students.gamma(pair.fid))
+        raw = pair.score / students.gamma(pair.fid)
+        year_scores[year].extend([raw] * pair.count)
+    print("\nMean raw satisfaction by seniority (priorities at work):")
+    for year in (4, 3, 2, 1):
+        scores = year_scores[year]
+        mean = sum(scores) / len(scores) if scores else float("nan")
+        print(f"  year {year}: {mean:.3f}  ({len(scores)} students)")
+
+    print(f"\nSolver cost: {stats.io_accesses} page reads, "
+          f"{stats.loops} loops, {stats.cpu_seconds:.2f}s CPU, "
+          f"{stats.peak_memory_bytes / 1024:.0f} KiB peak search memory.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: the paper's Figure 1 internship example.
+
+Three students express preferences over salary (X) and company
+standing (Y); four internship positions are on offer.  The fair
+assignment is the stable matching: the (student, position) pair with
+the highest score is fixed first, then the next, and so on.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FunctionSet, ObjectSet, build_object_index, solve
+
+POSITIONS = {
+    "a": (0.5, 0.6),
+    "b": (0.2, 0.7),
+    "c": (0.8, 0.2),
+    "d": (0.4, 0.4),
+}
+
+STUDENTS = {
+    "f1 (salary hunter)": (0.8, 0.2),
+    "f2 (prestige hunter)": (0.2, 0.8),
+    "f3 (balanced)": (0.5, 0.5),
+}
+
+
+def main() -> None:
+    position_names = list(POSITIONS)
+    student_names = list(STUDENTS)
+
+    objects = ObjectSet(list(POSITIONS.values()))
+    functions = FunctionSet(list(STUDENTS.values()))
+
+    index = build_object_index(objects)
+    matching, stats = solve(functions, index, method="sb")
+
+    print("Stable internship assignment (paper Figure 1):")
+    for pair in matching.pairs:
+        student = student_names[pair.fid]
+        position = position_names[pair.oid]
+        print(f"  {student:22s} -> position {position}   score {pair.score:.2f}")
+
+    print(f"\nPairs found over {stats.loops} loop(s), "
+          f"{stats.io_accesses} page read(s).")
+
+    # The paper's walk-through: c goes to f1 (score 0.68), then b to
+    # f2, then a to f3.
+    expected = {(0, 2), (1, 1), (2, 0)}
+    assert {(p.fid, p.oid) for p in matching.pairs} == expected
+    print("Matches the paper's worked example: "
+          "(f1, c), (f2, b), (f3, a).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""repro — reproduction of "A Fair Assignment Algorithm for Multiple
+Preference Queries" (U, Mamoulis, Mouratidis; VLDB 2009).
+
+Compute a fair (stable-marriage) 1-1 assignment between a set of
+linear preference functions and a set of multidimensional objects.
+
+Quickstart::
+
+    from repro import FunctionSet, ObjectSet, build_object_index, solve
+
+    objects = ObjectSet([(0.5, 0.6), (0.2, 0.7), (0.8, 0.2), (0.4, 0.4)])
+    functions = FunctionSet([(0.8, 0.2), (0.2, 0.8), (0.5, 0.5)])
+    index = build_object_index(objects)
+    matching, stats = solve(functions, index, method="sb")
+    for pair in matching.pairs:
+        print(f"user {pair.fid} -> position {pair.oid} (score {pair.score:.2f})")
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+reproduced evaluation.
+"""
+
+from repro.core import (
+    AssignedPair,
+    AssignmentResult,
+    Matching,
+    ObjectIndex,
+    RunStats,
+    build_object_index,
+    solve,
+)
+from repro.data.instances import FunctionSet, ObjectSet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssignedPair",
+    "AssignmentResult",
+    "FunctionSet",
+    "Matching",
+    "ObjectIndex",
+    "ObjectSet",
+    "RunStats",
+    "build_object_index",
+    "solve",
+    "__version__",
+]

@@ -1,0 +1,30 @@
+"""Benchmark harness reproducing the paper's evaluation (Section 7).
+
+- :mod:`repro.bench.config` — parameter scales.  The paper's Table 2
+  defaults (|F|=5k, |O|=100k, D=4, anti-correlated, 2% buffer) are
+  scaled down for laptop-speed pure-Python runs; set
+  ``REPRO_BENCH_SCALE=medium`` or ``=paper`` to raise them.  Sweeps
+  keep the paper's *relative* ranges, so cost shapes are comparable.
+- :mod:`repro.bench.harness` — instance/index caching and single-cell
+  runs with the paper's three metrics (page reads, CPU seconds, peak
+  search-structure memory).
+- :mod:`repro.bench.reporting` — paper-style series tables.
+
+``benchmarks/`` contains one pytest-benchmark suite per paper figure;
+``benchmarks/run_figures.py`` regenerates every table of
+EXPERIMENTS.md in one go.
+"""
+
+from repro.bench.config import Defaults, current_scale, defaults
+from repro.bench.harness import make_instance, run_cell
+from repro.bench.reporting import format_series, print_series
+
+__all__ = [
+    "Defaults",
+    "current_scale",
+    "defaults",
+    "format_series",
+    "make_instance",
+    "print_series",
+    "run_cell",
+]

@@ -1,0 +1,86 @@
+"""Benchmark parameter scales.
+
+Table 2 of the paper (defaults in bold there):
+
+=========================  =======================  =========
+parameter                   paper range              default
+=========================  =======================  =========
+|F| (thousands)             1, 2.5, 5, 10, 20        5
+|O| (thousands)             10, 50, 100, 200, 400    100
+dimensionality D            3, 4, 5, 6               4
+capacity k                  1, 2, 4, 8, 16           1
+max priority γ              1, 2, 4, 8, 16           1
+buffer size                 0–10% of the tree        2%
+=========================  =======================  =========
+
+Pure Python cannot run C++-scale sweeps in benchmark time, so the
+``small`` scale divides both cardinalities by 50 while keeping every
+*ratio* of the paper's sweeps (|F|/|O|, sweep multipliers, D range,
+k and γ ranges, buffer fractions) — the cost *shapes* are what the
+reproduction targets.  ``REPRO_BENCH_SCALE=medium`` divides by 10;
+``=paper`` runs the original sizes.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+_SCALES = {
+    "small": 50,
+    "medium": 10,
+    "paper": 1,
+}
+
+#: The paper's defaults (Table 2).
+PAPER_F = 5_000
+PAPER_O = 100_000
+
+
+def current_scale() -> str:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "small")
+    if scale not in _SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE={scale!r}; expected one of {sorted(_SCALES)}"
+        )
+    return scale
+
+
+@dataclass(frozen=True)
+class Defaults:
+    """Scaled Table 2 defaults."""
+
+    nf: int
+    no: int
+    dims: int = 4
+    distribution: str = "anti-correlated"
+    buffer_fraction: float = 0.02
+    page_size: int = 4096
+    omega_fraction: float = 0.025
+
+    @property
+    def divisor(self) -> int:
+        return PAPER_F // self.nf
+
+    def f_sweep(self) -> list[int]:
+        """Scaled Figure 10 sweep: paper {1, 2.5, 5, 10, 20}k."""
+        return [max(2, int(k * 1000) // self.divisor) for k in (1, 2.5, 5, 10, 20)]
+
+    def o_sweep(self) -> list[int]:
+        """Scaled Figure 11 sweep: paper {10, 50, 100, 200, 400}k."""
+        return [max(10, k * 1000 // self.divisor) for k in (10, 50, 100, 200, 400)]
+
+
+def defaults() -> Defaults:
+    divisor = _SCALES[current_scale()]
+    return Defaults(nf=PAPER_F // divisor, no=PAPER_O // divisor)
+
+
+# Paper sweep ranges that need no scaling.
+DIMS_SWEEP = [3, 4, 5, 6]
+DIMS_SWEEP_FIG8 = [3, 4, 5]
+CLUSTER_SWEEP = [1, 3, 5, 7, 9]
+BUFFER_SWEEP = [0.0, 0.01, 0.02, 0.05, 0.10]
+CAPACITY_SWEEP = [2, 4, 8, 16]
+PRIORITY_SWEEP = [2, 4, 8, 16]
+NBA_CAPACITY_SWEEP = [1, 5, 9, 12]

@@ -1,0 +1,150 @@
+"""Single-cell benchmark runs with instance/index caching.
+
+A *cell* is one (algorithm, parameter point) measurement: it reports
+the paper's three metrics — physical page reads, CPU seconds and peak
+search-structure memory — plus solver work counters.  Indexes are
+built once per (instance, page size, backend) and cold-started via
+``reset_for_run`` before each measured run (index construction is not
+part of the paper's measured cost).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core import solve
+from repro.core.index import ObjectIndex, build_object_index
+from repro.data.generators import make_functions, make_objects
+from repro.data.instances import FunctionSet, ObjectSet
+from repro.data.real import nba_like, zillow_like
+
+
+@dataclass
+class Cell:
+    """One measured point of a figure."""
+
+    method: str
+    params: dict
+    io: int
+    cpu_seconds: float
+    memory_bytes: int
+    loops: int
+    pairs: int
+    counters: dict = field(default_factory=dict)
+
+
+# ---------------------------------------------------------------------------
+# Instance and index caches
+# ---------------------------------------------------------------------------
+
+_instances: dict[tuple, tuple[FunctionSet, ObjectSet]] = {}
+_indexes: dict[tuple, ObjectIndex] = {}
+
+
+def make_instance(
+    nf: int,
+    no: int,
+    dims: int,
+    distribution: str = "anti-correlated",
+    seed: int = 0,
+    n_clusters: int | None = None,
+    function_capacity: int | None = None,
+    object_capacity: int | None = None,
+    max_priority: int | None = None,
+    real: str | None = None,
+) -> tuple[FunctionSet, ObjectSet]:
+    """Build (and cache) a benchmark instance.
+
+    ``real`` selects a real-data substitute ("zillow" or "nba",
+    Section 7.5) instead of the synthetic distribution.
+    """
+    key = (
+        nf, no, dims, distribution, seed, n_clusters,
+        function_capacity, object_capacity, max_priority, real,
+    )
+    if key in _instances:
+        return _instances[key]
+
+    if real == "zillow":
+        objects = zillow_like(no, seed=seed)
+        dims = objects.dims
+    elif real == "nba":
+        objects = nba_like(no, seed=seed)
+        dims = objects.dims
+    elif real is not None:
+        raise ValueError(f"unknown real dataset {real!r}")
+    else:
+        objects = make_objects(no, dims, distribution, seed=seed)
+    if object_capacity is not None and object_capacity > 1:
+        objects = ObjectSet(
+            objects.points, capacities=[object_capacity] * len(objects)
+        )
+
+    gammas = None
+    if max_priority is not None and max_priority > 1:
+        from repro.data.generators import random_priorities
+
+        gammas = random_priorities(nf, max_priority, seed=seed + 1)
+    capacities = None
+    if function_capacity is not None and function_capacity > 1:
+        capacities = [function_capacity] * nf
+    functions = make_functions(
+        nf, dims, seed=seed + 2, n_clusters=n_clusters,
+        gammas=gammas, capacities=capacities,
+    )
+
+    _instances[key] = (functions, objects)
+    return functions, objects
+
+
+def get_index(
+    objects: ObjectSet,
+    page_size: int = 4096,
+    memory: bool = False,
+) -> ObjectIndex:
+    key = (id(objects), page_size, memory)
+    index = _indexes.get(key)
+    if index is None:
+        index = build_object_index(objects, page_size=page_size, memory=memory)
+        _indexes[key] = index
+    return index
+
+
+def clear_caches() -> None:
+    _instances.clear()
+    _indexes.clear()
+
+
+# ---------------------------------------------------------------------------
+# Cell execution
+# ---------------------------------------------------------------------------
+
+
+def run_cell(
+    method: str,
+    functions: FunctionSet,
+    objects: ObjectSet,
+    buffer_fraction: float = 0.02,
+    page_size: int = 4096,
+    memory_index: bool = False,
+    params: dict | None = None,
+    **solve_kwargs,
+) -> Cell:
+    """Run one solver on one instance, cold-started, and collect the
+    paper's metrics."""
+    index = get_index(objects, page_size=page_size, memory=memory_index)
+    index.reset_for_run(buffer_fraction=buffer_fraction)
+    start = time.perf_counter()
+    matching, stats = solve(functions, index, method=method, **solve_kwargs)
+    elapsed = time.perf_counter() - start
+    return Cell(
+        method=method,
+        params=dict(params or {}),
+        io=stats.io_accesses,
+        cpu_seconds=elapsed,
+        memory_bytes=stats.peak_memory_bytes,
+        loops=stats.loops,
+        pairs=matching.num_units,
+        counters=dict(stats.counters),
+    )

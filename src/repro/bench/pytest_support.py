@@ -1,0 +1,44 @@
+"""pytest-benchmark glue used by the ``benchmarks/`` suites.
+
+Every benchmark cell times exactly one solver run (pedantic, one
+round) on a cold-started index, and attaches the paper's other two
+metrics (page reads, peak memory) as ``extra_info`` so the
+pytest-benchmark table carries all three.
+"""
+
+from __future__ import annotations
+
+from repro.bench.config import defaults
+from repro.bench.harness import get_index
+from repro.core import solve
+
+
+def bench_cell(
+    benchmark,
+    method: str,
+    functions,
+    objects,
+    buffer_fraction: float | None = None,
+    page_size: int = 4096,
+    memory_index: bool = False,
+    **solve_kwargs,
+):
+    """Run one measured solver call and annotate the three metrics."""
+    if buffer_fraction is None:
+        buffer_fraction = defaults().buffer_fraction
+    index = get_index(objects, page_size=page_size, memory=memory_index)
+
+    def setup():
+        index.reset_for_run(buffer_fraction=buffer_fraction)
+        return (), {}
+
+    def target():
+        return solve(functions, index, method=method, **solve_kwargs)
+
+    result = benchmark.pedantic(target, setup=setup, rounds=1, iterations=1)
+    matching, stats = result
+    benchmark.extra_info["io"] = stats.io_accesses
+    benchmark.extra_info["mem_kib"] = round(stats.peak_memory_bytes / 1024)
+    benchmark.extra_info["loops"] = stats.loops
+    benchmark.extra_info["pairs"] = matching.num_units
+    return result

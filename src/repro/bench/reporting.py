@@ -1,0 +1,64 @@
+"""Paper-style series tables for the benchmark harness.
+
+A figure in the paper is a set of series (one per algorithm) over a
+swept parameter.  ``format_series`` renders the same structure as
+text: one row per algorithm and metric, one column per sweep value.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.bench.harness import Cell
+
+_METRICS = {
+    "io": ("I/O accesses", lambda c: f"{c.io:,}"),
+    "cpu": ("CPU time (s)", lambda c: f"{c.cpu_seconds:.2f}"),
+    "mem": ("peak memory (KiB)", lambda c: f"{c.memory_bytes / 1024:,.0f}"),
+}
+
+
+def format_series(
+    title: str,
+    sweep_name: str,
+    sweep_values: Sequence,
+    cells: Sequence[Cell],
+    metrics: Sequence[str] = ("io", "cpu", "mem"),
+) -> str:
+    """Render cells as one table per metric, paper-figure style.
+
+    ``cells`` must carry ``params[sweep_name]`` matching one of
+    ``sweep_values``; methods appear in first-seen order.
+    """
+    methods: list[str] = []
+    for c in cells:
+        if c.method not in methods:
+            methods.append(c.method)
+    by_key = {(c.method, c.params[sweep_name]): c for c in cells}
+
+    width = max(10, *(len(str(v)) + 2 for v in sweep_values))
+    name_w = max(14, *(len(m) + 2 for m in methods))
+    lines = [f"== {title} =="]
+    for metric in metrics:
+        label, fmt = _METRICS[metric]
+        lines.append(f"-- {label} vs {sweep_name} --")
+        header = " " * name_w + "".join(f"{v!s:>{width}}" for v in sweep_values)
+        lines.append(header)
+        for method in methods:
+            row = f"{method:<{name_w}}"
+            for v in sweep_values:
+                cell = by_key.get((method, v))
+                row += f"{fmt(cell) if cell else '-':>{width}}"
+            lines.append(row)
+        lines.append("")
+    return "\n".join(lines)
+
+
+def print_series(
+    title: str,
+    sweep_name: str,
+    sweep_values: Sequence,
+    cells: Sequence[Cell],
+    metrics: Sequence[str] = ("io", "cpu", "mem"),
+) -> None:
+    print(format_series(title, sweep_name, sweep_values, cells, metrics))

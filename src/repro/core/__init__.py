@@ -1,0 +1,83 @@
+"""The assignment algorithms — the paper's contribution and baselines.
+
+Public entry points:
+
+- :func:`solve` — one-call dispatcher over every solver;
+- :func:`repro.core.sb.sb_assign` — the paper's SB (Algorithms 1+3,
+  with ablation toggles);
+- :func:`repro.core.brute_force.brute_force_assign` — Section 4.1;
+- :func:`repro.core.chain.chain_assign` — the adapted Chain of [25];
+- :func:`repro.core.priority.sb_two_skyline_assign` — Section 6.2;
+- :func:`repro.core.sb_alt.sb_alt_assign` — Section 7.6;
+- :func:`repro.core.reference.greedy_assign` /
+  :func:`repro.core.reference.gale_shapley_assign` — oracles;
+- :func:`repro.core.validate.assert_stable` — stability checking;
+- :func:`repro.core.index.build_object_index` — the object R-tree.
+"""
+
+from repro.core.brute_force import brute_force_assign
+from repro.core.chain import chain_assign
+from repro.core.index import ObjectIndex, build_object_index
+from repro.core.priority import sb_two_skyline_assign
+from repro.core.reference import gale_shapley_assign, greedy_assign
+from repro.core.sb import sb_assign
+from repro.core.sb_alt import sb_alt_assign
+from repro.core.types import AssignedPair, AssignmentResult, Matching, RunStats
+from repro.core.validate import assert_stable, assert_valid_matching, find_blocking_pair
+from repro.data.instances import FunctionSet, ObjectSet
+
+SOLVERS = {
+    "sb": sb_assign,
+    "sb-update": lambda f, i, **kw: sb_assign(f, i, variant="sb-update", **kw),
+    "sb-deltasky": lambda f, i, **kw: sb_assign(f, i, variant="sb-deltasky", **kw),
+    "sb-two-skylines": sb_two_skyline_assign,
+    "sb-alt": sb_alt_assign,
+    "brute-force": brute_force_assign,
+    "chain": chain_assign,
+}
+
+
+def solve(
+    functions: FunctionSet,
+    index: ObjectIndex,
+    method: str = "sb",
+    **kwargs,
+) -> AssignmentResult:
+    """Run one of the stable-assignment algorithms by name.
+
+    ``method`` is one of ``sb`` (the paper's algorithm), ``sb-update`` /
+    ``sb-deltasky`` (Figure 8 ablations), ``sb-two-skylines``
+    (prioritized variant), ``sb-alt`` (disk-resident functions),
+    ``brute-force`` or ``chain``.
+    """
+    try:
+        fn = SOLVERS[method]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {method!r}; expected one of {sorted(SOLVERS)}"
+        ) from None
+    return fn(functions, index, **kwargs)
+
+
+__all__ = [
+    "AssignedPair",
+    "AssignmentResult",
+    "FunctionSet",
+    "Matching",
+    "ObjectIndex",
+    "ObjectSet",
+    "RunStats",
+    "SOLVERS",
+    "assert_stable",
+    "assert_valid_matching",
+    "brute_force_assign",
+    "build_object_index",
+    "chain_assign",
+    "find_blocking_pair",
+    "gale_shapley_assign",
+    "greedy_assign",
+    "sb_assign",
+    "sb_alt_assign",
+    "sb_two_skyline_assign",
+    "solve",
+]

@@ -1,0 +1,126 @@
+"""Reference solvers: the greedy oracle and Gale–Shapley.
+
+Both compute the canonical stable matching exactly but naively —
+they materialize the full |F| x |O| preference structure and are used
+as test oracles and teaching baselines, never in benchmarks at scale.
+
+Under the canonical strict orders of :mod:`repro.ordering` the stable
+matching is *unique* (both sides rank pairs by restrictions of one
+global order), so the oracle, Gale–Shapley and all the paper's
+algorithms must agree pair-for-pair; the test suite asserts this.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.capacity import CapacityTracker
+from repro.core.types import AssignmentResult, Matching, RunStats
+from repro.data.instances import FunctionSet, ObjectSet
+from repro.ordering import function_key, object_key, pair_key
+from repro.scoring import score
+
+
+def greedy_assign(functions: FunctionSet, objects: ObjectSet) -> AssignmentResult:
+    """The defining procedure of the problem statement: repeatedly take
+    the best remaining (function, object) pair (Section 3), honoring
+    capacities (Section 6.1) and priorities via effective weights
+    (Section 6.2)."""
+    start = time.perf_counter()
+    matching = Matching()
+    caps = CapacityTracker(functions, objects)
+
+    all_pairs = sorted(
+        (
+            pair_key(score(w_eff, p), w_eff, fid, p, oid)
+            for fid in range(len(functions))
+            for w_eff in (functions.effective_weights(fid),)
+            for oid, p in enumerate(objects.points)
+        ),
+    )
+    for key in all_pairs:
+        if caps.exhausted:
+            break
+        neg_score, _neg_w, fid, _neg_p, oid = key
+        if not (caps.function_alive(fid) and caps.object_alive(oid)):
+            continue
+        units, _, _ = caps.assign(fid, oid)
+        matching.add(fid, oid, -neg_score, units)
+
+    stats = RunStats(cpu_seconds=time.perf_counter() - start)
+    stats.counters["pairs_considered"] = len(all_pairs)
+    return AssignmentResult(matching, stats)
+
+
+def gale_shapley_assign(
+    functions: FunctionSet, objects: ObjectSet
+) -> AssignmentResult:
+    """Function-proposing Gale–Shapley [9, 11] on the unit-expanded
+    instance (each capacity unit is a clone), aggregated back to
+    (fid, oid, units) pairs."""
+    start = time.perf_counter()
+
+    f_units: list[int] = []  # unit index -> fid
+    for fid in range(len(functions)):
+        f_units.extend([fid] * functions.capacity(fid))
+    o_units: list[int] = []  # unit index -> oid
+    for oid in range(len(objects)):
+        o_units.extend([oid] * objects.capacity(oid))
+
+    # Preference list of each function unit over object units:
+    # canonical object order, clone index as the final tie-break.
+    def object_pref(fid: int) -> list[int]:
+        w = functions.effective_weights(fid)
+        return sorted(
+            range(len(o_units)),
+            key=lambda u: (
+                object_key(score(w, objects.points[o_units[u]]),
+                           objects.points[o_units[u]], o_units[u]),
+                u,
+            ),
+        )
+
+    prefs = {fid: object_pref(fid) for fid in set(f_units)}
+    next_choice = [0] * len(f_units)
+    engaged_to: list[int | None] = [None] * len(o_units)  # o-unit -> f-unit
+    free = list(range(len(f_units)))
+    free.reverse()  # pop from the end, ascending unit order
+
+    def f_unit_key(funit: int, oid: int):
+        fid = f_units[funit]
+        w = functions.effective_weights(fid)
+        s = score(w, objects.points[oid])
+        return (function_key(s, w, fid), funit)
+
+    while free:
+        funit = free.pop()
+        fid = f_units[funit]
+        pref = prefs[fid]
+        while next_choice[funit] < len(pref):
+            ounit = pref[next_choice[funit]]
+            next_choice[funit] += 1
+            oid = o_units[ounit]
+            holder = engaged_to[ounit]
+            if holder is None:
+                engaged_to[ounit] = funit
+                break
+            if f_unit_key(funit, oid) < f_unit_key(holder, oid):
+                engaged_to[ounit] = funit
+                free.append(holder)
+                break
+        # else: the unit stays unmatched (more F units than O units).
+
+    counts: dict[tuple[int, int], int] = {}
+    for ounit, funit in enumerate(engaged_to):
+        if funit is None:
+            continue
+        pair = (f_units[funit], o_units[ounit])
+        counts[pair] = counts.get(pair, 0) + 1
+
+    matching = Matching()
+    for (fid, oid), units in sorted(counts.items()):
+        s = score(functions.effective_weights(fid), objects.points[oid])
+        matching.add(fid, oid, s, units)
+
+    stats = RunStats(cpu_seconds=time.perf_counter() - start)
+    return AssignmentResult(matching, stats)

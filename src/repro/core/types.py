@@ -1,0 +1,86 @@
+"""Result types shared by all solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.stats import IOStats
+
+
+@dataclass(frozen=True)
+class AssignedPair:
+    """One stable (function, object) pair.
+
+    ``count`` > 1 aggregates the capacitated case: it is the number of
+    units matched between the two (Section 6.1's repeated Line 15–17
+    decrements, batched — see DESIGN.md).
+    """
+
+    fid: int
+    oid: int
+    score: float
+    count: int = 1
+
+
+@dataclass
+class Matching:
+    """A stable assignment: the ordered list of emitted pairs."""
+
+    pairs: list[AssignedPair] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.pairs)
+
+    def add(self, fid: int, oid: int, score: float, count: int = 1) -> None:
+        self.pairs.append(AssignedPair(fid, oid, score, count))
+
+    def as_dict(self) -> dict[tuple[int, int], int]:
+        """``{(fid, oid): units}`` — order-independent comparison form."""
+        out: dict[tuple[int, int], int] = {}
+        for p in self.pairs:
+            out[(p.fid, p.oid)] = out.get((p.fid, p.oid), 0) + p.count
+        return out
+
+    @property
+    def num_units(self) -> int:
+        return sum(p.count for p in self.pairs)
+
+    def total_score(self) -> float:
+        return sum(p.score * p.count for p in self.pairs)
+
+    def object_of(self, fid: int) -> list[tuple[int, int]]:
+        """``(oid, units)`` partners of a function."""
+        return [(p.oid, p.count) for p in self.pairs if p.fid == fid]
+
+    def function_of(self, oid: int) -> list[tuple[int, int]]:
+        """``(fid, units)`` partners of an object."""
+        return [(p.fid, p.count) for p in self.pairs if p.oid == oid]
+
+
+@dataclass
+class RunStats:
+    """The paper's three metrics plus algorithm-specific work counters."""
+
+    io: IOStats = field(default_factory=IOStats)
+    cpu_seconds: float = 0.0
+    peak_memory_bytes: int = 0
+    loops: int = 0
+    counters: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def io_accesses(self) -> int:
+        """The paper's "I/O accesses": physical page reads."""
+        return self.io.physical_reads
+
+
+@dataclass
+class AssignmentResult:
+    """A matching together with the cost of computing it."""
+
+    matching: Matching
+    stats: RunStats
+
+    def __iter__(self):
+        # Allows ``matching, stats = solve(...)`` unpacking.
+        yield self.matching
+        yield self.stats

@@ -1,0 +1,98 @@
+"""Stability verification (Definition 1 / Property 2).
+
+``find_blocking_pair`` performs the textbook check: a pair ``(f, o)``
+blocks a matching if both would strictly (canonically) rather be
+matched to each other than to their currently worst partner — where a
+side with unused capacity is trivially willing.  A matching is stable
+iff no blocking pair exists.  O(|F|·|O|), test-scale only.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import Matching
+from repro.data.instances import FunctionSet, ObjectSet
+from repro.ordering import function_key, object_key
+from repro.scoring import score
+
+
+def find_blocking_pair(
+    matching: Matching, functions: FunctionSet, objects: ObjectSet
+) -> tuple[int, int] | None:
+    """Return a blocking ``(fid, oid)`` pair, or ``None`` if stable."""
+    f_partners: dict[int, list[int]] = {fid: [] for fid in range(len(functions))}
+    o_partners: dict[int, list[int]] = {oid: [] for oid in range(len(objects))}
+    for p in matching.pairs:
+        f_partners[p.fid].extend([p.oid] * p.count)
+        o_partners[p.oid].extend([p.fid] * p.count)
+
+    for fid in range(len(functions)):
+        if len(f_partners[fid]) > functions.capacity(fid):
+            raise ValueError(f"function {fid} over capacity in matching")
+    for oid in range(len(objects)):
+        if len(o_partners[oid]) > objects.capacity(oid):
+            raise ValueError(f"object {oid} over capacity in matching")
+
+    # Worst current partner of each side, by the canonical orders
+    # (None means spare capacity: anything is an improvement).
+    def f_worst_key(fid: int):
+        if len(f_partners[fid]) < functions.capacity(fid):
+            return None
+        w = functions.effective_weights(fid)
+        return max(
+            object_key(score(w, objects.points[oid]), objects.points[oid], oid)
+            for oid in f_partners[fid]
+        )
+
+    def o_worst_key(oid: int):
+        if len(o_partners[oid]) < objects.capacity(oid):
+            return None
+        p = objects.points[oid]
+        return max(
+            function_key(
+                score(functions.effective_weights(fid), p),
+                functions.effective_weights(fid),
+                fid,
+            )
+            for fid in o_partners[oid]
+        )
+
+    f_worst = {fid: f_worst_key(fid) for fid in range(len(functions))}
+    o_worst = {oid: o_worst_key(oid) for oid in range(len(objects))}
+
+    for fid in range(len(functions)):
+        w = functions.effective_weights(fid)
+        for oid, p in enumerate(objects.points):
+            s = score(w, p)
+            fk = function_key(s, w, fid)
+            ok = object_key(s, p, oid)
+            f_wants = f_worst[fid] is None or ok < f_worst[fid]
+            o_wants = o_worst[oid] is None or fk < o_worst[oid]
+            if f_wants and o_wants:
+                # Matched units of (f, o) itself don't block; but a pair
+                # with *both* sides preferring more of each other than
+                # their worst alternatives still blocks unless one side
+                # is saturated by the other.
+                return fid, oid
+    return None
+
+
+def assert_stable(
+    matching: Matching, functions: FunctionSet, objects: ObjectSet
+) -> None:
+    pair = find_blocking_pair(matching, functions, objects)
+    if pair is not None:
+        raise AssertionError(f"matching is unstable: blocking pair {pair}")
+
+
+def assert_valid_matching(
+    matching: Matching, functions: FunctionSet, objects: ObjectSet
+) -> None:
+    """Capacity feasibility + saturation: the matched unit count must be
+    ``min(total F capacity, total O capacity)`` (stable matchings in
+    this model leave no mutually-free capacity behind)."""
+    expected = min(functions.total_capacity, objects.total_capacity)
+    if matching.num_units != expected:
+        raise AssertionError(
+            f"matching has {matching.num_units} units, expected {expected}"
+        )
+    assert_stable(matching, functions, objects)

@@ -1,0 +1,63 @@
+"""Vectorized canonical argmax over a set of rows.
+
+The BestPair step scans the (in-memory) skyline for each candidate
+function — "find object f.obest ∈ Osky that maximizes f(o)" — and the
+two-skyline variant scans Fsky per object.  Both are dot-product
+argmaxes with canonical tie-breaking.  ``MatrixView`` computes the
+scores with one numpy matmul, then resolves the winner *exactly*
+(via :func:`repro.scoring.score` and the canonical tuple order) among
+the rows inside a small tolerance band around the numpy maximum — the
+band is orders of magnitude wider than matmul's rounding error, so
+the exact winner is always inside it and results are bit-identical to
+the scalar scan.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.ordering import neg
+from repro.scoring import SCORE_EPS, score
+
+
+class MatrixView:
+    """Static ``(id, vector)`` rows supporting canonical best-row query.
+
+    The canonical order used is ``(-score, neg(row), id)`` ascending —
+    which equals :func:`repro.ordering.object_key` when rows are object
+    points and :func:`repro.ordering.function_key` when rows are
+    effective weight vectors (the two orders share one shape).
+    """
+
+    def __init__(self, ids: Sequence[int], rows: Sequence[Sequence[float]]):
+        if len(ids) != len(rows):
+            raise ValueError("ids and rows must align")
+        self.ids = list(ids)
+        self.rows = [tuple(r) for r in rows]
+        self._matrix = np.asarray(self.rows, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    @classmethod
+    def from_dict(cls, mapping: dict[int, tuple[float, ...]]) -> "MatrixView":
+        ids = sorted(mapping)
+        return cls(ids, [mapping[i] for i in ids])
+
+    def best_for(self, query: Sequence[float]) -> tuple[int, float]:
+        """Canonically best ``(id, exact_score)`` for ``query``."""
+        if not self.ids:
+            raise ValueError("best_for on an empty MatrixView")
+        approx = self._matrix @ np.asarray(query, dtype=np.float64)
+        band = np.nonzero(approx >= approx.max() - SCORE_EPS)[0]
+        best_key = None
+        best_i = -1
+        for i in band:
+            row = self.rows[i]
+            key = (-score(row, query), neg(row), self.ids[i])
+            if best_key is None or key < best_key:
+                best_key = key
+                best_i = int(i)
+        return self.ids[best_i], -best_key[0]

@@ -1,0 +1,36 @@
+"""Datasets: instance containers, synthetic generators, real-data substitutes.
+
+The paper evaluates on the three classic preference-query benchmarks
+(independent / correlated / anti-correlated object sets, per Börzsönyi
+et al. [4]), on normalized linear preference functions with
+independently drawn weights (optionally clustered, Figure 12), and on
+two real datasets (Zillow, NBA) for which
+:mod:`repro.data.real` provides behaviour-preserving synthetic
+substitutes (see DESIGN.md §5).
+"""
+
+from repro.data.generators import (
+    anti_correlated_points,
+    clustered_weights,
+    correlated_points,
+    independent_points,
+    make_functions,
+    make_objects,
+    uniform_weights,
+)
+from repro.data.instances import FunctionSet, ObjectSet
+from repro.data.real import nba_like, zillow_like
+
+__all__ = [
+    "FunctionSet",
+    "ObjectSet",
+    "anti_correlated_points",
+    "clustered_weights",
+    "correlated_points",
+    "independent_points",
+    "make_functions",
+    "make_objects",
+    "nba_like",
+    "uniform_weights",
+    "zillow_like",
+]

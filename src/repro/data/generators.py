@@ -1,0 +1,163 @@
+"""Synthetic data generators.
+
+Object sets follow the Börzsönyi et al. [4] methodology the paper
+cites for its benchmarks:
+
+- *independent* — attribute values uniform and independent;
+- *correlated* — objects good in one dimension tend to be good in all
+  (points spread around the main diagonal);
+- *anti-correlated* — objects good in one dimension tend to be poor in
+  the others (points spread around a hyperplane perpendicular to the
+  diagonal), the hardest case for skylines and the paper's default.
+
+Function weights are drawn independently and normalized to sum to 1
+(Section 3); ``clustered_weights`` reproduces the Figure 12 setup
+(C Gaussian clusters with σ=0.05 around random centers).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.instances import FunctionSet, ObjectSet
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def independent_points(n: int, dims: int, seed=None) -> np.ndarray:
+    """Uniform, independent attribute values in [0, 1]."""
+    return _rng(seed).random((n, dims))
+
+
+def correlated_points(n: int, dims: int, seed=None, spread: float = 0.12) -> np.ndarray:
+    """Points near the main diagonal: a shared base value per object
+    plus small independent Gaussian offsets, clipped to [0, 1]."""
+    rng = _rng(seed)
+    base = rng.random((n, 1))
+    pts = base + rng.normal(0.0, spread, (n, dims))
+    return np.clip(pts, 0.0, 1.0)
+
+
+def anti_correlated_points(
+    n: int, dims: int, seed=None, spread: float = 0.12
+) -> np.ndarray:
+    """Points near a hyperplane perpendicular to the diagonal.
+
+    Each object draws a per-dimension average ``t ~ N(0.5, spread)``
+    and splits the mass ``t * dims`` across dimensions with a uniform
+    Dirichlet draw; samples leaving the unit cube are rejected.  The
+    attribute sum is nearly constant, so being good somewhere forces
+    being poor elsewhere — the paper's default (hardest) distribution.
+    """
+    rng = _rng(seed)
+    out = np.empty((n, dims))
+    filled = 0
+    while filled < n:
+        batch = max(1024, 2 * (n - filled))
+        t = rng.normal(0.5, spread, batch)
+        shares = rng.dirichlet(np.ones(dims), batch)
+        pts = shares * (t * dims)[:, None]
+        ok = (t > 0.0) & (t < 1.0) & (pts <= 1.0).all(axis=1) & (pts >= 0.0).all(axis=1)
+        good = pts[ok]
+        take = min(len(good), n - filled)
+        out[filled : filled + take] = good[:take]
+        filled += take
+    return out
+
+
+_OBJECT_GENERATORS = {
+    "independent": independent_points,
+    "correlated": correlated_points,
+    "anti-correlated": anti_correlated_points,
+}
+
+
+def make_objects(
+    n: int,
+    dims: int,
+    distribution: str = "anti-correlated",
+    seed=None,
+    capacities: list[int] | None = None,
+) -> ObjectSet:
+    """Build an :class:`ObjectSet` with one of the three benchmark
+    distributions (paper Section 7)."""
+    try:
+        gen = _OBJECT_GENERATORS[distribution]
+    except KeyError:
+        raise ValueError(
+            f"unknown distribution {distribution!r}; "
+            f"expected one of {sorted(_OBJECT_GENERATORS)}"
+        ) from None
+    pts = gen(n, dims, seed)
+    return ObjectSet([tuple(row) for row in pts], capacities=capacities)
+
+
+def uniform_weights(n: int, dims: int, seed=None) -> np.ndarray:
+    """Independently drawn weights, normalized to sum to 1 per function
+    (the paper's "weights generated independently")."""
+    rng = _rng(seed)
+    raw = rng.random((n, dims))
+    # A zero row has probability 0 but would break normalization.
+    raw = np.maximum(raw, 1e-12)
+    return raw / raw.sum(axis=1, keepdims=True)
+
+
+def clustered_weights(
+    n: int,
+    dims: int,
+    n_clusters: int,
+    seed=None,
+    sigma: float = 0.05,
+) -> np.ndarray:
+    """Figure 12's clustered weight distribution: C random centers,
+    Gaussian spread σ around the chosen center, clipped non-negative
+    and renormalized to sum to 1."""
+    if n_clusters < 1:
+        raise ValueError("n_clusters must be >= 1")
+    rng = _rng(seed)
+    centers = uniform_weights(n_clusters, dims, rng)
+    choice = rng.integers(0, n_clusters, n)
+    raw = centers[choice] + rng.normal(0.0, sigma, (n, dims))
+    raw = np.clip(raw, 1e-12, None)
+    return raw / raw.sum(axis=1, keepdims=True)
+
+
+def make_functions(
+    n: int,
+    dims: int,
+    seed=None,
+    n_clusters: int | None = None,
+    gammas: list[float] | None = None,
+    capacities: list[int] | None = None,
+) -> FunctionSet:
+    """Build a :class:`FunctionSet`; clustered if ``n_clusters`` given."""
+    if n_clusters is None:
+        w = uniform_weights(n, dims, seed)
+    else:
+        w = clustered_weights(n, dims, n_clusters, seed)
+    return FunctionSet(
+        [tuple(row) for row in w], gammas=gammas, capacities=capacities
+    )
+
+
+def random_priorities(n: int, max_gamma: int, seed=None) -> list[float]:
+    """Priorities drawn uniformly from {1, ..., max_gamma} (Section 7.4)."""
+    if max_gamma < 1:
+        raise ValueError("max_gamma must be >= 1")
+    rng = _rng(seed)
+    return [float(g) for g in rng.integers(1, max_gamma + 1, n)]
+
+
+def random_capacities(n: int, k: int, seed=None, fixed: bool = True) -> list[int]:
+    """Capacities for Section 7.3: all equal to ``k`` when ``fixed``,
+    else uniform in {1..k}."""
+    if k < 1:
+        raise ValueError("capacity must be >= 1")
+    if fixed:
+        return [k] * n
+    rng = _rng(seed)
+    return [int(c) for c in rng.integers(1, k + 1, n)]

@@ -1,0 +1,61 @@
+"""Canonical tie-breaking shared by every algorithm.
+
+With real-valued random data, score ties are measure-zero — but the
+test suite (hypothesis) and the capacitated variant (duplicate
+objects/functions) hit them constantly.  The stable matching is unique
+only under *strict* preferences, so all solvers break ties through the
+orders below, making their outputs comparable pair-for-pair:
+
+- **objects**, for a fixed function: higher score first, then
+  lexicographically larger coordinates, then smaller object id.  The
+  coordinate-lex component guarantees the canonical best object is a
+  skyline member: any dominator scores >= and is coordinate-lex
+  greater, so a non-skyline object can never win a tie against all of
+  its dominators.
+- **functions**, for a fixed object: higher score first, then
+  lexicographically larger *effective* (γ-scaled) coefficients, then
+  smaller function id.  The same argument keeps the canonical best
+  function on the function skyline in the prioritized variant
+  (Section 6.2's two-skyline optimization).
+- **pairs**: higher score, then the function tail, then the object
+  tail — consistent with both per-side orders, so "mutually canonical
+  best" pairs are exactly the pairs of the canonical stable matching.
+
+All keys sort *ascending*: smaller key == more preferred.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+ObjectKey = tuple[float, tuple[float, ...], int]
+FunctionKey = tuple[float, tuple[float, ...], int]
+PairKey = tuple[float, tuple[float, ...], int, tuple[float, ...], int]
+
+
+def neg(values: Sequence[float]) -> tuple[float, ...]:
+    """Negate a vector so that ascending tuple order prefers larger."""
+    return tuple(-v for v in values)
+
+
+def object_key(score: float, point: Sequence[float], oid: int) -> ObjectKey:
+    """Preference key of an object for some fixed function."""
+    return (-score, neg(point), oid)
+
+
+def function_key(
+    score: float, effective_weights: Sequence[float], fid: int
+) -> FunctionKey:
+    """Preference key of a function for some fixed object."""
+    return (-score, neg(effective_weights), fid)
+
+
+def pair_key(
+    score: float,
+    effective_weights: Sequence[float],
+    fid: int,
+    point: Sequence[float],
+    oid: int,
+) -> PairKey:
+    """Global order on (function, object) pairs."""
+    return (-score, neg(effective_weights), fid, neg(point), oid)

@@ -1,0 +1,32 @@
+"""Disk-based R-tree substrate.
+
+The paper indexes the object set ``O`` with an R-tree on 4 KB pages
+(and, for the Chain baseline, the function weights with a main-memory
+R-tree).  This package implements the full substrate from scratch:
+
+- :mod:`repro.rtree.geometry` — MBR algebra, dominance tests and the
+  score/priority keys used by BBS and BRS.
+- :mod:`repro.rtree.encoding` — byte-level node layout; node fanout is
+  *derived from the page size*, so I/O counts reflect realistic
+  fanouts exactly as in the paper.
+- :mod:`repro.rtree.store` — node stores: a disk-backed store (page
+  file + LRU buffer, with I/O accounting) and a main-memory store.
+- :mod:`repro.rtree.bulk` — Sort-Tile-Recursive bulk loading.
+- :mod:`repro.rtree.tree` — the R-tree proper (Guttman quadratic
+  split insert, condense-tree delete, range search).
+"""
+
+from repro.rtree.geometry import Rect, dominates, dominates_on_or_equal
+from repro.rtree.node import Node
+from repro.rtree.store import DiskNodeStore, MemoryNodeStore
+from repro.rtree.tree import RTree
+
+__all__ = [
+    "DiskNodeStore",
+    "MemoryNodeStore",
+    "Node",
+    "RTree",
+    "Rect",
+    "dominates",
+    "dominates_on_or_equal",
+]

@@ -1,0 +1,90 @@
+"""Sort-Tile-Recursive (STR) bulk loading.
+
+STR packs points into fully-filled leaves by recursively sorting and
+slicing the space one dimension at a time, then builds upper levels
+the same way over node centers.  It produces the compact, well-shaped
+trees the paper's experiments assume (|O| up to 400k objects are
+loaded once, then only queried).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.rtree.geometry import Point, mbr_of_rects
+from repro.rtree.node import Node
+from repro.rtree.store import NodeStore
+
+
+def _balanced_split(items: list, n_parts: int) -> list[list]:
+    """Split into ``n_parts`` contiguous parts whose sizes differ by at
+    most one — so no part is smaller than half the average, which keeps
+    every bulk-loaded node above the R-tree minimum fill."""
+    n = len(items)
+    base, extra = divmod(n, n_parts)
+    out = []
+    start = 0
+    for i in range(n_parts):
+        size = base + (1 if i < extra else 0)
+        out.append(items[start : start + size])
+        start += size
+    return out
+
+
+def _tile(
+    items: list,
+    key_of: callable,
+    capacity: int,
+    dim: int,
+    dims: int,
+) -> list[list]:
+    """Recursively partition ``items`` into chunks of <= capacity."""
+    if len(items) <= capacity:
+        return [items]
+    n_chunks = math.ceil(len(items) / capacity)
+    items = sorted(items, key=lambda it: (key_of(it)[dim], key_of(it)))
+    if dim == dims - 1:
+        return _balanced_split(items, n_chunks)
+    n_slabs = math.ceil(n_chunks ** (1.0 / (dims - dim)))
+    out: list[list] = []
+    for slab in _balanced_split(items, n_slabs):
+        out.extend(_tile(slab, key_of, capacity, dim + 1, dims))
+    return out
+
+
+def str_bulk_load(
+    store: NodeStore, dims: int, items: Sequence[tuple[int, Point]]
+) -> tuple[int | None, int]:
+    """Bulk-load ``(object_id, point)`` pairs; returns ``(root_id, height)``.
+
+    Height counts levels (1 = the root is a leaf).  An empty input
+    yields ``(None, 0)``.
+    """
+    items = list(items)
+    if not items:
+        return None, 0
+
+    # Leaf level.
+    chunks = _tile(items, lambda it: it[1], store.leaf_capacity, 0, dims)
+    level: list[tuple[int, object]] = []  # (page_id, mbr) entries
+    for chunk in chunks:
+        node = Node(store.allocate(), True, list(chunk))
+        store.write_node(node)
+        level.append((node.page_id, node.mbr()))
+    height = 1
+
+    # Upper levels over child MBR centers.
+    while len(level) > 1:
+        chunks = _tile(
+            level, lambda it: it[1].center(), store.internal_capacity, 0, dims
+        )
+        next_level: list[tuple[int, object]] = []
+        for chunk in chunks:
+            node = Node(store.allocate(), False, list(chunk))
+            store.write_node(node)
+            next_level.append((node.page_id, mbr_of_rects(r for _, r in chunk)))
+        level = next_level
+        height += 1
+
+    return level[0][0], height

@@ -1,0 +1,156 @@
+"""Geometric primitives: points, MBRs, dominance, search keys.
+
+Conventions
+-----------
+Points are tuples of floats.  *Larger is better* in every dimension
+(the paper normalizes attributes so that the "sky point" — the best
+imaginary object — is the top corner of the space).
+
+Dominance follows the paper's Section 2.2: ``p`` dominates ``q`` iff
+``p`` is >= ``q`` in every dimension and the two points do not
+coincide.  Two identical points therefore do *not* dominate each
+other — both belong to the skyline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+Point = tuple[float, ...]
+
+
+def dominates(p: Sequence[float], q: Sequence[float]) -> bool:
+    """True iff ``p`` dominates ``q`` (>= everywhere, not coincident)."""
+    not_equal = False
+    for a, b in zip(p, q):
+        if a < b:
+            return False
+        if a != b:
+            not_equal = True
+    return not_equal
+
+
+def dominates_on_or_equal(p: Sequence[float], q: Sequence[float]) -> bool:
+    """True iff ``p`` >= ``q`` componentwise (coincident points allowed)."""
+    return all(a >= b for a, b in zip(p, q))
+
+
+def sky_key_point(p: Sequence[float]) -> float:
+    """BBS priority of a point: ascending order == closest to the sky
+    point first.  ``-sum(p)`` orders identically to the paper's L1
+    distance from the top corner and needs no normalization bounds."""
+    return -sum(p)
+
+
+class Rect:
+    """An axis-aligned D-dimensional minimum bounding rectangle."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: Sequence[float], hi: Sequence[float]):
+        if len(lo) != len(hi):
+            raise ValueError("lo and hi must have the same dimensionality")
+        for a, b in zip(lo, hi):
+            if a > b:
+                raise ValueError(f"degenerate rect: lo {lo} exceeds hi {hi}")
+        self.lo: Point = tuple(lo)
+        self.hi: Point = tuple(hi)
+
+    @classmethod
+    def from_point(cls, p: Sequence[float]) -> "Rect":
+        return cls(p, p)
+
+    @property
+    def dims(self) -> int:
+        return len(self.lo)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Rect) and self.lo == other.lo and self.hi == other.hi
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        return f"Rect({self.lo}, {self.hi})"
+
+    def contains_point(self, p: Sequence[float]) -> bool:
+        return all(a <= x <= b for a, x, b in zip(self.lo, p, self.hi))
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return all(a <= c for a, c in zip(self.lo, other.lo)) and all(
+            b >= d for b, d in zip(self.hi, other.hi)
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        return all(
+            a <= d and c <= b
+            for a, b, c, d in zip(self.lo, self.hi, other.lo, other.hi)
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(
+            tuple(min(a, c) for a, c in zip(self.lo, other.lo)),
+            tuple(max(b, d) for b, d in zip(self.hi, other.hi)),
+        )
+
+    def union_point(self, p: Sequence[float]) -> "Rect":
+        return Rect(
+            tuple(min(a, x) for a, x in zip(self.lo, p)),
+            tuple(max(b, x) for b, x in zip(self.hi, p)),
+        )
+
+    def area(self) -> float:
+        out = 1.0
+        for a, b in zip(self.lo, self.hi):
+            out *= b - a
+        return out
+
+    def margin(self) -> float:
+        return sum(b - a for a, b in zip(self.lo, self.hi))
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase if ``other`` were merged into this rect."""
+        return self.union(other).area() - self.area()
+
+    def center(self) -> Point:
+        return tuple((a + b) / 2.0 for a, b in zip(self.lo, self.hi))
+
+    def sky_key(self) -> float:
+        """BBS priority: the rect's best corner is its upper corner."""
+        return -sum(self.hi)
+
+    def maxscore(self, weights: Sequence[float]) -> float:
+        """Upper bound of ``sum(w_i * x_i)`` over points in the rect
+        for non-negative weights (BRS's ``maxscore``)."""
+        return sum(w * b for w, b in zip(weights, self.hi))
+
+    def minscore(self, weights: Sequence[float]) -> float:
+        return sum(w * a for w, a in zip(weights, self.lo))
+
+
+def mbr_of_points(points: Iterable[Sequence[float]]) -> Rect:
+    it = iter(points)
+    try:
+        first = next(it)
+    except StopIteration:
+        raise ValueError("cannot compute the MBR of zero points") from None
+    lo = list(first)
+    hi = list(first)
+    for p in it:
+        for i, x in enumerate(p):
+            if x < lo[i]:
+                lo[i] = x
+            elif x > hi[i]:
+                hi[i] = x
+    return Rect(lo, hi)
+
+
+def mbr_of_rects(rects: Iterable[Rect]) -> Rect:
+    it = iter(rects)
+    try:
+        out = next(it)
+    except StopIteration:
+        raise ValueError("cannot compute the MBR of zero rects") from None
+    for r in it:
+        out = out.union(r)
+    return out

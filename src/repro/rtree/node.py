@@ -1,0 +1,66 @@
+"""R-tree node representation.
+
+A node is either a leaf (entries are ``(object_id, point)``) or an
+internal node (entries are ``(child_page_id, Rect)``).  Nodes carry
+their own page id so stores can round-trip them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.rtree.geometry import Point, Rect, mbr_of_points, mbr_of_rects
+
+LeafEntry = tuple[int, Point]
+InternalEntry = tuple[int, Rect]
+
+
+class Node:
+    __slots__ = ("page_id", "is_leaf", "entries")
+
+    def __init__(
+        self,
+        page_id: int,
+        is_leaf: bool,
+        entries: list[LeafEntry] | list[InternalEntry] | None = None,
+    ):
+        self.page_id = page_id
+        self.is_leaf = is_leaf
+        self.entries: list = entries if entries is not None else []
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "internal"
+        return f"Node(page={self.page_id}, {kind}, {len(self.entries)} entries)"
+
+    def mbr(self) -> Rect:
+        """Tight MBR over this node's entries."""
+        if not self.entries:
+            raise ValueError(f"node {self.page_id} has no entries")
+        if self.is_leaf:
+            return mbr_of_points(p for _, p in self.entries)
+        return mbr_of_rects(r for _, r in self.entries)
+
+    def entry_rect(self, index: int) -> Rect:
+        """The MBR of one entry (a degenerate rect for leaf points)."""
+        ident, payload = self.entries[index]
+        if self.is_leaf:
+            return Rect.from_point(payload)
+        return payload
+
+    def child_ids(self) -> list[int]:
+        if self.is_leaf:
+            raise ValueError("leaf nodes have no children")
+        return [cid for cid, _ in self.entries]
+
+    def find_leaf_entry(self, oid: int, point: Sequence[float] | None = None) -> int:
+        """Index of the leaf entry for ``oid`` (and ``point`` if given),
+        or -1 if absent."""
+        if not self.is_leaf:
+            raise ValueError("find_leaf_entry on an internal node")
+        for i, (ident, p) in enumerate(self.entries):
+            if ident == oid and (point is None or tuple(point) == p):
+                return i
+        return -1

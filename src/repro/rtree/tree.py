@@ -1,0 +1,343 @@
+"""The R-tree proper.
+
+A classic Guttman R-tree over a pluggable :class:`NodeStore`:
+
+- ``insert`` with least-enlargement descent and quadratic split;
+- ``delete`` with condense-tree (underfull nodes dissolved, their
+  points reinserted);
+- ``bulk_load`` via STR (:mod:`repro.rtree.bulk`);
+- ``range_search`` / ``iter_items`` for verification.
+
+Search algorithms that the paper builds *on top of* the tree (BBS
+skylines, BRS ranked search) live in :mod:`repro.skyline` and
+:mod:`repro.topk`; they traverse the tree through ``read_node`` so
+every page touch is accounted.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Sequence
+
+from repro.rtree.bulk import str_bulk_load
+from repro.rtree.geometry import Point, Rect
+from repro.rtree.node import Node
+from repro.rtree.store import NodeStore
+
+MIN_FILL_RATIO = 0.4
+
+
+class RTree:
+    """R-tree over ``(object_id, point)`` items."""
+
+    def __init__(self, store: NodeStore, dims: int):
+        self.store = store
+        self.dims = dims
+        self.root_id: int | None = None
+        self.height = 0
+        self.size = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def bulk_load(
+        cls, store: NodeStore, dims: int, items: Sequence[tuple[int, Point]]
+    ) -> "RTree":
+        tree = cls(store, dims)
+        tree.root_id, tree.height = str_bulk_load(store, dims, items)
+        tree.size = len(items)
+        return tree
+
+    def _min_fill(self, is_leaf: bool) -> int:
+        cap = self.store.leaf_capacity if is_leaf else self.store.internal_capacity
+        return max(1, math.floor(cap * MIN_FILL_RATIO))
+
+    def _capacity(self, is_leaf: bool) -> int:
+        return self.store.leaf_capacity if is_leaf else self.store.internal_capacity
+
+    # ------------------------------------------------------------------
+    # Insert
+    # ------------------------------------------------------------------
+
+    def insert(self, oid: int, point: Sequence[float]) -> None:
+        point = tuple(point)
+        if len(point) != self.dims:
+            raise ValueError(f"expected {self.dims}-D point, got {point}")
+        if self.root_id is None:
+            root = Node(self.store.allocate(), True, [(oid, point)])
+            self.store.write_node(root)
+            self.root_id = root.page_id
+            self.height = 1
+            self.size = 1
+            return
+        split = self._insert_rec(self.root_id, (oid, point))
+        if split is not None:
+            old_root = self.store.read_node(self.root_id)
+            new_root = Node(
+                self.store.allocate(),
+                False,
+                [(self.root_id, old_root.mbr()), split],
+            )
+            self.store.write_node(new_root)
+            self.root_id = new_root.page_id
+            self.height += 1
+        self.size += 1
+
+    def _insert_rec(
+        self, page_id: int, entry: tuple[int, Point]
+    ) -> tuple[int, Rect] | None:
+        """Insert into the subtree at ``page_id``; returns the sibling
+        entry ``(page_id, mbr)`` if this node split, else None."""
+        node = self.store.read_node(page_id)
+        if node.is_leaf:
+            node.entries.append(entry)
+            if len(node.entries) > self._capacity(True):
+                return self._split(node)
+            self.store.write_node(node)
+            return None
+
+        child_index = self._choose_subtree(node, Rect.from_point(entry[1]))
+        child_id = node.entries[child_index][0]
+        split = self._insert_rec(child_id, entry)
+        child = self.store.read_node(child_id)
+        node.entries[child_index] = (child_id, child.mbr())
+        if split is not None:
+            node.entries.append(split)
+            if len(node.entries) > self._capacity(False):
+                return self._split(node)
+        self.store.write_node(node)
+        return None
+
+    def _choose_subtree(self, node: Node, rect: Rect) -> int:
+        """Least-enlargement child (ties: smaller area, then page id)."""
+        best_index = 0
+        best_key: tuple[float, float, int] | None = None
+        for i, (cid, mbr) in enumerate(node.entries):
+            key = (mbr.enlargement(rect), mbr.area(), cid)
+            if best_key is None or key < best_key:
+                best_key = key
+                best_index = i
+        return best_index
+
+    def _split(self, node: Node) -> tuple[int, Rect]:
+        """Guttman quadratic split; ``node`` keeps one group, a new
+        sibling gets the other.  Returns the sibling's parent entry."""
+        entries = node.entries
+        rects = [
+            Rect.from_point(payload) if node.is_leaf else payload
+            for _, payload in entries
+        ]
+
+        # Seeds: the pair wasting the most area.
+        n = len(entries)
+        worst = -1.0
+        seed_a, seed_b = 0, 1
+        for i in range(n):
+            for j in range(i + 1, n):
+                waste = (
+                    rects[i].union(rects[j]).area()
+                    - rects[i].area()
+                    - rects[j].area()
+                )
+                if waste > worst:
+                    worst = waste
+                    seed_a, seed_b = i, j
+
+        group_a = [seed_a]
+        group_b = [seed_b]
+        mbr_a, mbr_b = rects[seed_a], rects[seed_b]
+        remaining = [i for i in range(n) if i not in (seed_a, seed_b)]
+        min_fill = self._min_fill(node.is_leaf)
+
+        while remaining:
+            # Force-assign if a group must absorb all that's left.
+            if len(group_a) + len(remaining) == min_fill:
+                group_a.extend(remaining)
+                for i in remaining:
+                    mbr_a = mbr_a.union(rects[i])
+                break
+            if len(group_b) + len(remaining) == min_fill:
+                group_b.extend(remaining)
+                for i in remaining:
+                    mbr_b = mbr_b.union(rects[i])
+                break
+            # Pick the entry with the strongest group preference.
+            best_i = -1
+            best_diff = -1.0
+            for i in remaining:
+                d_a = mbr_a.enlargement(rects[i])
+                d_b = mbr_b.enlargement(rects[i])
+                diff = abs(d_a - d_b)
+                if diff > best_diff:
+                    best_diff = diff
+                    best_i = i
+            remaining.remove(best_i)
+            d_a = mbr_a.enlargement(rects[best_i])
+            d_b = mbr_b.enlargement(rects[best_i])
+            if (d_a, mbr_a.area(), len(group_a)) <= (d_b, mbr_b.area(), len(group_b)):
+                group_a.append(best_i)
+                mbr_a = mbr_a.union(rects[best_i])
+            else:
+                group_b.append(best_i)
+                mbr_b = mbr_b.union(rects[best_i])
+
+        node.entries = [entries[i] for i in group_a]
+        self.store.write_node(node)
+        sibling = Node(
+            self.store.allocate(), node.is_leaf, [entries[i] for i in group_b]
+        )
+        self.store.write_node(sibling)
+        return sibling.page_id, sibling.mbr()
+
+    # ------------------------------------------------------------------
+    # Delete
+    # ------------------------------------------------------------------
+
+    def delete(self, oid: int, point: Sequence[float]) -> bool:
+        """Remove ``(oid, point)``; returns False if absent."""
+        if self.root_id is None:
+            return False
+        point = tuple(point)
+        orphans: list[tuple[int, Point]] = []
+        removed = self._delete_rec(self.root_id, oid, point, orphans)
+        if not removed:
+            return False
+        self.size -= 1
+
+        root = self.store.read_node(self.root_id)
+        if not root.is_leaf and len(root.entries) == 1:
+            # Shrink the tree: promote the only child.
+            old_root_id = self.root_id
+            self.root_id = root.entries[0][0]
+            self.store.free(old_root_id)
+            self.height -= 1
+        elif root.is_leaf and not root.entries and not orphans:
+            self.store.free(self.root_id)
+            self.root_id = None
+            self.height = 0
+
+        for orphan_oid, orphan_point in orphans:
+            self.size -= 1  # insert() re-adds it
+            self.insert(orphan_oid, orphan_point)
+        return True
+
+    def _delete_rec(
+        self,
+        page_id: int,
+        oid: int,
+        point: Point,
+        orphans: list[tuple[int, Point]],
+    ) -> bool:
+        node = self.store.read_node(page_id)
+        if node.is_leaf:
+            idx = node.find_leaf_entry(oid, point)
+            if idx < 0:
+                return False
+            del node.entries[idx]
+            self.store.write_node(node)
+            return True
+
+        for i, (child_id, mbr) in enumerate(node.entries):
+            if not mbr.contains_point(point):
+                continue
+            if not self._delete_rec(child_id, oid, point, orphans):
+                continue
+            child = self.store.read_node(child_id)
+            if len(child.entries) < self._min_fill(child.is_leaf):
+                # Dissolve the underfull child; reinsert its points.
+                orphans.extend(self._collect_points(child_id))
+                self._free_subtree(child_id)
+                del node.entries[i]
+            else:
+                node.entries[i] = (child_id, child.mbr())
+            self.store.write_node(node)
+            return True
+        return False
+
+    def _collect_points(self, page_id: int) -> list[tuple[int, Point]]:
+        node = self.store.read_node(page_id)
+        if node.is_leaf:
+            return list(node.entries)
+        out: list[tuple[int, Point]] = []
+        for child_id, _ in node.entries:
+            out.extend(self._collect_points(child_id))
+        return out
+
+    def _free_subtree(self, page_id: int) -> None:
+        node = self.store.read_node(page_id)
+        if not node.is_leaf:
+            for child_id, _ in node.entries:
+                self._free_subtree(child_id)
+        self.store.free(page_id)
+
+    # ------------------------------------------------------------------
+    # Queries / inspection
+    # ------------------------------------------------------------------
+
+    def root(self) -> Node | None:
+        return None if self.root_id is None else self.store.read_node(self.root_id)
+
+    def mbr(self) -> Rect | None:
+        root = self.root()
+        return None if root is None or not root.entries else root.mbr()
+
+    def range_search(self, rect: Rect) -> list[tuple[int, Point]]:
+        """All items whose point lies inside ``rect``."""
+        if self.root_id is None:
+            return []
+        out: list[tuple[int, Point]] = []
+        stack = [self.root_id]
+        while stack:
+            node = self.store.read_node(stack.pop())
+            if node.is_leaf:
+                out.extend(
+                    (oid, p) for oid, p in node.entries if rect.contains_point(p)
+                )
+            else:
+                stack.extend(
+                    cid for cid, mbr in node.entries if mbr.intersects(rect)
+                )
+        return out
+
+    def iter_items(self) -> Iterator[tuple[int, Point]]:
+        if self.root_id is None:
+            return
+        stack = [self.root_id]
+        while stack:
+            node = self.store.read_node(stack.pop())
+            if node.is_leaf:
+                yield from node.entries
+            else:
+                stack.extend(node.child_ids())
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError on any structural violation (tests)."""
+        if self.root_id is None:
+            assert self.height == 0 and self.size == 0
+            return
+        count = self._check_node(self.root_id, self.height, is_root=True)
+        assert count == self.size, f"size {self.size} != leaf count {count}"
+
+    def _check_node(self, page_id: int, level: int, is_root: bool = False) -> int:
+        node = self.store.read_node(page_id)
+        assert node.entries, f"empty node {page_id}"
+        cap = self._capacity(node.is_leaf)
+        assert len(node.entries) <= cap, f"node {page_id} over capacity"
+        if not is_root:
+            assert len(node.entries) >= self._min_fill(node.is_leaf), (
+                f"node {page_id} underfull: {len(node.entries)}"
+            )
+        if node.is_leaf:
+            assert level == 1, f"leaf {page_id} at level {level}"
+            return len(node.entries)
+        count = 0
+        for child_id, mbr in node.entries:
+            child = self.store.read_node(child_id)
+            actual = child.mbr()
+            assert mbr.contains_rect(actual), (
+                f"parent MBR {mbr} does not contain child {actual}"
+            )
+            count += self._check_node(child_id, level - 1)
+        return count

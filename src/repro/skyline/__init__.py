@@ -1,0 +1,44 @@
+"""Skyline computation and maintenance.
+
+Static algorithms (used as references and baselines):
+
+- :func:`repro.skyline.reference.naive_skyline` — O(n²) ground truth;
+- :mod:`repro.skyline.bnl` — Block-Nested-Loops [Börzsönyi et al.];
+- :mod:`repro.skyline.dc` — Divide & Conquer [Börzsönyi et al.];
+- :mod:`repro.skyline.sfs` — sort-based skyline with SaLSa-style early
+  termination [Godfrey et al.; Bartolini et al.].
+
+Index-based computation and maintenance (the paper's substrate):
+
+- :mod:`repro.skyline.bbs` — BBS over the R-tree [Papadias et al.],
+  extended to record pruned entries in per-skyline-point ``plist``s;
+- :mod:`repro.skyline.maintenance` — **UpdateSkyline** (paper Alg. 2):
+  I/O-optimal deletion maintenance driven by the plists;
+- :mod:`repro.skyline.deltasky` — DeltaSky [Wu et al.]: per-deletion
+  constrained BBS, the maintenance baseline of Figure 8;
+- :mod:`repro.skyline.edr` — exclusive-dominance-region decomposition
+  (used for verification).
+"""
+
+from repro.skyline.bbs import bbs_skyline
+from repro.skyline.bnl import bnl_skyline
+from repro.skyline.dc import dc_skyline
+from repro.skyline.deltasky import DeltaSkyManager
+from repro.skyline.inmemory import InMemorySkylineManager
+from repro.skyline.kskyband import bbs_kskyband, naive_kskyband
+from repro.skyline.maintenance import UpdateSkylineManager
+from repro.skyline.reference import naive_skyline
+from repro.skyline.sfs import sfs_skyline
+
+__all__ = [
+    "DeltaSkyManager",
+    "InMemorySkylineManager",
+    "UpdateSkylineManager",
+    "bbs_kskyband",
+    "bbs_skyline",
+    "bnl_skyline",
+    "dc_skyline",
+    "naive_kskyband",
+    "naive_skyline",
+    "sfs_skyline",
+]

@@ -1,0 +1,167 @@
+"""Branch-and-Bound Skyline (BBS) over the R-tree [Papadias et al.].
+
+BBS pops heap entries in ascending distance from the sky point (we use
+the equivalent key ``-sum(best corner)``); a popped point that is not
+dominated by the current skyline is a confirmed skyline member, a
+popped node that is not dominated is expanded (one page access).  BBS
+is I/O optimal: it reads exactly the nodes not dominated by the
+skyline.
+
+For the paper's Section 5.2 the engine optionally records every pruned
+entry in the ``plist`` of the skyline point that pruned it — each
+pruned entry lives in *exactly one* plist.  The plists are what make
+UpdateSkyline read-once over the whole assignment run (Theorem 1).
+
+Entries are ``(kind, ident, payload)`` with ``kind`` NODE (payload =
+MBR :class:`Rect`, ident = page id) or POINT (payload = point tuple,
+ident = object id).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Iterable
+
+from repro.rtree.geometry import Point, Rect, dominates
+from repro.rtree.tree import RTree
+from repro.skyline.dominance import DominanceIndex
+from repro.storage.stats import (
+    BYTES_PER_HEAP_ENTRY,
+    BYTES_PER_PLIST_ENTRY,
+    MemoryTracker,
+)
+
+NODE = 0
+POINT = 1
+
+Entry = tuple[int, int, object]  # (kind, ident, payload)
+
+
+def entry_corner(entry: Entry) -> Point:
+    """Best corner of an entry: the point itself, or the MBR top corner."""
+    kind, _, payload = entry
+    return payload.hi if kind == NODE else payload
+
+
+def entry_key(entry: Entry) -> float:
+    """Heap priority (ascending == nearest to the sky point first)."""
+    return -sum(entry_corner(entry))
+
+
+def find_dominator(skyline: dict[int, Point], corner: Point) -> int | None:
+    """Id of a skyline point dominating ``corner``, or None.
+
+    Deterministic: the smallest-id dominator is returned so plist
+    contents are reproducible run to run.
+    """
+    best: int | None = None
+    for oid, p in skyline.items():
+        if dominates(p, corner) and (best is None or oid < best):
+            best = oid
+    return best
+
+
+class BBSEngine:
+    """Resumable BBS loop shared by the initial computation and by
+    UpdateSkyline's maintenance passes."""
+
+    def __init__(
+        self,
+        tree: RTree,
+        track_plists: bool = True,
+        mem: MemoryTracker | None = None,
+    ):
+        self.tree = tree
+        self.track_plists = track_plists
+        self.mem = mem
+        self.skyline: dict[int, Point] = {}
+        self.dom = DominanceIndex(tree.dims)
+        self.plists: dict[int, list[Entry]] = {}
+        self._plist_entries = 0
+        self._seq = itertools.count()
+
+    # -- memory accounting -------------------------------------------------
+
+    def _note_heap(self, size: int) -> None:
+        if self.mem is not None:
+            self.mem.set_gauge("bbs_heap", size * BYTES_PER_HEAP_ENTRY)
+
+    def _note_plists(self) -> None:
+        if self.mem is not None:
+            self.mem.set_gauge("plists", self._plist_entries * BYTES_PER_PLIST_ENTRY)
+
+    # -- core loop ---------------------------------------------------------
+
+    def make_heap(self, entries: Iterable[Entry]) -> list:
+        heap = [(entry_key(e), next(self._seq), e) for e in entries]
+        heapq.heapify(heap)
+        return heap
+
+    def seed_from_root(self) -> list:
+        """Initial heap: the root node's entries (the root page is the
+        first access, as in the paper's Figure 2 walk-through)."""
+        if self.tree.root_id is None:
+            return []
+        root = self.tree.store.read_node(self.tree.root_id)
+        entries: list[Entry] = []
+        if root.is_leaf:
+            entries.extend((POINT, oid, p) for oid, p in root.entries)
+        else:
+            entries.extend((NODE, cid, mbr) for cid, mbr in root.entries)
+        return self.make_heap(entries)
+
+    def run(self, heap: list) -> None:
+        """Drain ``heap``, growing ``self.skyline`` (and plists)."""
+        push = heapq.heappush
+        pop = heapq.heappop
+        while heap:
+            self._note_heap(len(heap))
+            _, _, entry = pop(heap)
+            kind, ident, payload = entry
+            dominator = self.dom.find_dominator(entry_corner(entry))
+            if dominator is not None:
+                if self.track_plists:
+                    self.plists[dominator].append(entry)
+                    self._plist_entries += 1
+                    self._note_plists()
+                continue
+            if kind == NODE:
+                node = self.tree.store.read_node(ident)  # the page access
+                if node.is_leaf:
+                    for oid, p in node.entries:
+                        push(heap, (-sum(p), next(self._seq), (POINT, oid, p)))
+                else:
+                    for cid, mbr in node.entries:
+                        push(heap, (-sum(mbr.hi), next(self._seq), (NODE, cid, mbr)))
+            else:
+                self.skyline[ident] = payload
+                self.dom.add(ident, payload)
+                if self.track_plists:
+                    self.plists[ident] = []
+        self._note_heap(0)
+
+    # -- maintenance support -----------------------------------------------
+
+    def detach(self, oid: int) -> list[Entry]:
+        """Remove a skyline member, returning its plist entries."""
+        del self.skyline[oid]
+        self.dom.remove(oid)
+        entries = self.plists.pop(oid, [])
+        self._plist_entries -= len(entries)
+        self._note_plists()
+        return entries
+
+    def append_plist(self, oid: int, entry: Entry) -> None:
+        self.plists[oid].append(entry)
+        self._plist_entries += 1
+        self._note_plists()
+
+
+def bbs_skyline(
+    tree: RTree, mem: MemoryTracker | None = None
+) -> dict[int, Point]:
+    """One-shot BBS skyline of all items in ``tree``."""
+    engine = BBSEngine(tree, track_plists=False, mem=mem)
+    engine.run(engine.seed_from_root())
+    return engine.skyline

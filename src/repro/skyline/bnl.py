@@ -1,0 +1,86 @@
+"""Block-Nested-Loops skyline [Börzsönyi et al., ICDE 2001].
+
+BNL scans the input once per pass, keeping candidate (so far
+undominated) points in a bounded memory window.  When the window
+overflows, points are spilled to a temporary file and re-examined in
+the next pass; a window point can be output as soon as every point
+that entered the pass after it has been compared against it (tracked
+with timestamps, as in the original paper).
+
+This is the paper's citation [4]; it serves as an index-free baseline
+and cross-check for BBS.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.rtree.geometry import dominates
+
+Point = tuple[float, ...]
+
+
+def bnl_skyline(
+    items: Sequence[tuple[int, Point]], window_size: int | None = None
+) -> dict[int, Point]:
+    """Skyline via BNL with a window of ``window_size`` candidates
+    (unbounded if ``None``)."""
+    if window_size is not None and window_size < 1:
+        raise ValueError("window_size must be >= 1")
+
+    result: dict[int, Point] = {}
+    # Current input: (timestamp, oid, point).  Timestamps implement the
+    # classic BNL output rule across passes.
+    pending: list[tuple[int, int, Point]] = [
+        (0, oid, p) for oid, p in items
+    ]
+    clock = 0
+
+    while pending:
+        window: list[tuple[int, int, Point]] = []  # (entered_at, oid, point)
+        overflow: list[tuple[int, int, Point]] = []
+
+        for entered_at, oid, p in pending:
+            clock += 1
+            dominated = False
+            survivors: list[tuple[int, int, Point]] = []
+            for w_time, w_oid, w_p in window:
+                if dominated:
+                    survivors.append((w_time, w_oid, w_p))
+                    continue
+                if dominates(w_p, p):
+                    dominated = True
+                    survivors.append((w_time, w_oid, w_p))
+                elif not dominates(p, w_p):
+                    survivors.append((w_time, w_oid, w_p))
+                # else: the window point is dominated by p and dropped.
+            window = survivors
+            if dominated:
+                continue
+            if window_size is None or len(window) < window_size:
+                window.append((clock, oid, p))
+            else:
+                # Window full: p must also be compared with the
+                # overflow of this pass in the next pass.
+                overflow.append((clock, oid, p))
+
+        if not overflow:
+            # Last pass: everything left in the window is skyline.
+            for _, oid, p in window:
+                result[oid] = p
+            break
+
+        first_overflow_time = overflow[0][0]
+        next_pending: list[tuple[int, int, Point]] = []
+        for w_time, w_oid, w_p in window:
+            if w_time < first_overflow_time:
+                # Compared against every later point: confirmed skyline.
+                result[w_oid] = w_p
+            else:
+                next_pending.append((w_time, w_oid, w_p))
+        next_pending.extend(overflow)
+        # Re-examine in arrival order (stable across passes).
+        next_pending.sort()
+        pending = next_pending
+
+    return result

@@ -1,0 +1,52 @@
+"""Divide-and-Conquer skyline [Börzsönyi et al., ICDE 2001].
+
+Recursively splits the input at the median of a rotating dimension,
+computes the two partial skylines, and merges them by filtering the
+"worse" half against the "better" half.  Points with larger values in
+the split dimension can never be dominated by points with strictly
+smaller values there, so the better half's skyline is final.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.rtree.geometry import dominates
+from repro.skyline.reference import naive_skyline
+
+Point = tuple[float, ...]
+
+_BASE_CASE = 16
+
+
+def dc_skyline(items: Sequence[tuple[int, Point]]) -> dict[int, Point]:
+    """Skyline of ``(id, point)`` pairs via divide & conquer."""
+    if not items:
+        return {}
+    dims = len(items[0][1])
+    return _recurse(list(items), 0, dims)
+
+
+def _recurse(items: list[tuple[int, Point]], depth: int, dims: int) -> dict[int, Point]:
+    if len(items) <= _BASE_CASE:
+        return naive_skyline(items)
+
+    dim = depth % dims
+    items.sort(key=lambda it: it[1][dim])
+    mid = len(items) // 2
+    median = items[mid][1][dim]
+    low = [it for it in items if it[1][dim] < median]
+    high = [it for it in items if it[1][dim] >= median]
+    if not low:
+        # Degenerate split (median ties dominate the range): fall back.
+        return naive_skyline(items)
+
+    sky_high = _recurse(high, depth + 1, dims)
+    sky_low = _recurse(low, depth + 1, dims)
+
+    merged = dict(sky_high)
+    high_points = list(sky_high.values())
+    for oid, p in sky_low.items():
+        if not any(dominates(q, p) for q in high_points):
+            merged[oid] = p
+    return merged

@@ -1,0 +1,115 @@
+"""DeltaSky-style skyline maintenance [Wu et al., ICDE 2007].
+
+The maintenance baseline of the paper's Figure 8.  For every removed
+skyline point, DeltaSky re-traverses the R-tree from the root and
+visits the nodes that (a) can intersect the removed point's dominance
+region and (b) are not dominated by the surviving skyline — the
+implicit-EDR intersection test that avoids materializing the
+exclusive dominance region (the check is O(|skyline| · D) per node,
+matching the paper's description).  Because each removal triggers a
+fresh root-to-leaf traversal, the same pages are read again and again
+across removals — exactly the I/O behaviour UpdateSkyline eliminates.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.rtree.geometry import Point, dominates
+from repro.rtree.tree import RTree
+from repro.skyline.bbs import bbs_skyline
+from repro.skyline.dominance import DominanceIndex
+from repro.storage.stats import BYTES_PER_HEAP_ENTRY, MemoryTracker
+
+
+class DeltaSkyManager:
+    """Skyline maintenance with DeltaSky; same interface as
+    :class:`~repro.skyline.maintenance.UpdateSkylineManager`."""
+
+    def __init__(self, tree: RTree, mem: MemoryTracker | None = None):
+        self.tree = tree
+        self.mem = mem
+        self.skyline: dict[int, Point] = {}
+        self._dom = DominanceIndex(tree.dims)
+        self._removed: set[int] = set()
+        self._computed = False
+
+    def compute_initial(self) -> dict[int, Point]:
+        if self._computed:
+            raise RuntimeError("initial skyline already computed")
+        self._computed = True
+        self.skyline = bbs_skyline(self.tree, mem=self.mem)
+        for oid, p in self.skyline.items():
+            self._dom.add(oid, p)
+        return self.skyline
+
+    def remove(self, oids: Iterable[int]) -> dict[int, Point]:
+        """Remove skyline members and repair the skyline, one
+        constrained traversal per removed point (DeltaSky's cost model).
+
+        Candidates from all traversals are gathered first and inserted
+        in BBS (sky-distance) order so that candidates dominated by
+        other candidates are culled correctly even for simultaneous
+        multi-point removals.
+        """
+        if not self._computed:
+            raise RuntimeError("call compute_initial() first")
+        removed_points: list[tuple[int, Point]] = []
+        for oid in oids:
+            if oid not in self.skyline:
+                raise KeyError(f"object {oid} is not a current skyline member")
+            removed_points.append((oid, self.skyline[oid]))
+            del self.skyline[oid]
+            self._dom.remove(oid)
+            self._removed.add(oid)
+
+        candidates: dict[int, Point] = {}
+        for _, point_removed in removed_points:
+            self._constrained_search(point_removed, candidates)
+
+        for oid, p in sorted(candidates.items(), key=lambda it: (-sum(it[1]), it[0])):
+            if self._dom.find_dominator(p) is None:
+                self.skyline[oid] = p
+                self._dom.add(oid, p)
+        return self.skyline
+
+    # -- internals ---------------------------------------------------------
+
+    def _constrained_search(
+        self, removed_point: Point, candidates: dict[int, Point]
+    ) -> None:
+        """Collect surviving points exclusively dominated by
+        ``removed_point`` via a root-down constrained traversal."""
+        if self.tree.root_id is None:
+            return
+        removed_arr = np.asarray(removed_point)
+        stack = [self.tree.root_id]
+        max_depth = 0
+        while stack:
+            if self.mem is not None and len(stack) > max_depth:
+                max_depth = len(stack)
+                self.mem.set_gauge(
+                    "deltasky_stack", max_depth * BYTES_PER_HEAP_ENTRY
+                )
+            node = self.tree.store.read_node(stack.pop())  # page access
+            if node.is_leaf:
+                for oid, p in node.entries:
+                    if oid in self._removed or oid in candidates:
+                        continue
+                    if not dominates(removed_point, p):
+                        continue  # outside the dominance region
+                    if self._dom.find_dominator(p) is None:
+                        candidates[oid] = p
+                continue
+            for cid, mbr in node.entries:
+                # Implicit EDR test: the child can contain points of the
+                # removed point's dominance region iff its lower corner
+                # is <= the removed point everywhere ...
+                if not all(lo <= r for lo, r in zip(mbr.lo, removed_arr)):
+                    continue
+                # ... and it is not wholly dominated by a survivor.
+                if self._dom.find_dominator(mbr.hi) is not None:
+                    continue
+                stack.append(cid)

@@ -1,0 +1,83 @@
+"""Vectorized dominator lookup over a dynamic point set.
+
+``find_dominator`` is the innermost operation of BBS, UpdateSkyline
+and DeltaSky — every heap entry is checked against the current
+skyline.  This index keeps the skyline in a compact numpy matrix so
+one check costs a couple of vectorized comparisons instead of a Python
+loop.  Comparisons are exact (no arithmetic), so results are
+bit-identical to the scalar definition in
+:func:`repro.rtree.geometry.dominates`; the smallest dominating id is
+returned for deterministic plist placement.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.rtree.geometry import dominates
+
+
+class DominanceIndex:
+    """Dynamic ``{id: point}`` set with fast dominator queries."""
+
+    def __init__(self, dims: int, capacity: int = 64):
+        self.dims = dims
+        self._pts = np.empty((max(capacity, 4), dims))
+        self._oids = np.empty(max(capacity, 4), dtype=np.int64)
+        self._row_of: dict[int, int] = {}
+        self._n = 0
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __contains__(self, oid: int) -> bool:
+        return oid in self._row_of
+
+    def add(self, oid: int, point: Sequence[float]) -> None:
+        if oid in self._row_of:
+            raise KeyError(f"{oid} already present")
+        if self._n == len(self._oids):
+            self._pts = np.concatenate([self._pts, np.empty_like(self._pts)])
+            self._oids = np.concatenate([self._oids, np.empty_like(self._oids)])
+        row = self._n
+        self._pts[row] = point
+        self._oids[row] = oid
+        self._row_of[oid] = row
+        self._n += 1
+
+    def remove(self, oid: int) -> None:
+        row = self._row_of.pop(oid)
+        last = self._n - 1
+        if row != last:
+            self._pts[row] = self._pts[last]
+            moved = int(self._oids[last])
+            self._oids[row] = moved
+            self._row_of[moved] = row
+        self._n = last
+
+    def find_dominator(self, corner: Sequence[float]) -> int | None:
+        """Smallest id of a member dominating ``corner``, or None."""
+        n = self._n
+        if n == 0:
+            return None
+        if n <= 4:  # numpy overhead not worth it for tiny sets
+            best = None
+            for oid, row in self._row_of.items():
+                if dominates(self._pts[row], corner) and (
+                    best is None or oid < best
+                ):
+                    best = oid
+            return best
+        pts = self._pts[:n]
+        c = np.asarray(corner)
+        ge = (pts >= c).all(axis=1)
+        if not ge.any():
+            return None
+        cand = np.nonzero(ge)[0]
+        strict = (pts[cand] != c).any(axis=1)
+        cand = cand[strict]
+        if cand.size == 0:
+            return None
+        return int(self._oids[cand].min())

@@ -1,0 +1,81 @@
+"""Exclusive Dominance Region (EDR) decomposition.
+
+The EDR of a skyline point ``p`` is the part of the space dominated by
+``p`` but by no other skyline point (paper Section 2.2, Figure 3).
+When a skyline point is deleted, only objects inside its EDR can enter
+the skyline.  Beyond D=2 the EDR is a union of hyper-rectangles whose
+count grows like |skyline|^D — which is exactly why the paper's
+UpdateSkyline and DeltaSky both avoid materializing it.
+
+This module *does* materialize it (by iterated box subtraction), as a
+verification oracle: tests assert that the candidate entries processed
+by UpdateSkyline after a removal all intersect the removed point's
+EDR, and that points outside it never enter the repaired skyline.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.rtree.geometry import Point, Rect
+
+
+def dominance_region(p: Sequence[float], origin: float = 0.0) -> Rect:
+    """The region dominated by ``p`` (larger-is-better): ``[origin, p]``."""
+    return Rect(tuple(origin for _ in p), tuple(p))
+
+
+def subtract_box(box: Rect, cut: Rect) -> list[Rect]:
+    """``box`` minus ``cut`` as disjoint boxes (closed-boundary
+    semantics; shared faces of zero measure may remain)."""
+    if not box.intersects(cut):
+        return [box]
+    out: list[Rect] = []
+    lo = list(box.lo)
+    hi = list(box.hi)
+    # Peel off the slabs of `box` lying outside `cut`, one dim at a time.
+    for i in range(box.dims):
+        if lo[i] < cut.lo[i]:
+            piece_hi = hi.copy()
+            piece_hi[i] = cut.lo[i]
+            out.append(Rect(tuple(lo), tuple(piece_hi)))
+            lo[i] = cut.lo[i]
+        if hi[i] > cut.hi[i]:
+            piece_lo = lo.copy()
+            piece_lo[i] = cut.hi[i]
+            out.append(Rect(tuple(piece_lo), tuple(hi)))
+            hi[i] = cut.hi[i]
+    return [r for r in out if r.area() > 0.0]
+
+
+def exclusive_dominance_region(
+    p: Sequence[float], others: Iterable[Sequence[float]], origin: float = 0.0
+) -> list[Rect]:
+    """EDR of ``p`` w.r.t. the other skyline points, as disjoint boxes."""
+    boxes = [dominance_region(p, origin)]
+    for s in others:
+        cut = dominance_region(s, origin)
+        boxes = [piece for box in boxes for piece in subtract_box(box, cut)]
+        if not boxes:
+            break
+    return boxes
+
+
+def point_in_edr(q: Sequence[float], boxes: Sequence[Rect]) -> bool:
+    """Membership test against a box decomposition (closed boxes)."""
+    return any(b.contains_point(q) for b in boxes)
+
+
+def point_in_edr_exact(
+    q: Sequence[float], p: Sequence[float], others: Iterable[Sequence[float]]
+) -> bool:
+    """Direct EDR membership (no decomposition): dominated by ``p`` or
+    equal to it in the closed sense, and dominated by no other point.
+
+    Used to cross-check the box decomposition on sampled points.
+    """
+    from repro.rtree.geometry import dominates_on_or_equal
+
+    if not dominates_on_or_equal(p, q):
+        return False
+    return not any(dominates_on_or_equal(s, q) for s in others)

@@ -1,0 +1,70 @@
+"""In-memory skyline maintenance (plist technique, no R-tree).
+
+Used for the *function* skyline ``Fsky`` of the prioritized
+two-skyline variant (Section 6.2): the function set lives in memory,
+sees frequent deletions, and its skyline must be repaired cheaply.
+This manager applies the same exclusive-dominance bookkeeping as
+UpdateSkyline — every dominated item is parked under exactly one
+skyline member and only orphaned items are re-examined on removal —
+just without pages or MBRs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.rtree.geometry import dominates
+
+Vector = tuple[float, ...]
+
+
+class InMemorySkylineManager:
+    """Skyline over in-memory ``(id, vector)`` items with deletions."""
+
+    def __init__(self, items: Sequence[tuple[int, Vector]]):
+        self.skyline: dict[int, Vector] = {}
+        self._plists: dict[int, list[tuple[int, Vector]]] = {}
+        # Sum-descending order is dominance-monotone, so dominators are
+        # placed before the items they dominate (SFS-style).
+        for ident, vec in sorted(items, key=lambda it: (-sum(it[1]), it[0])):
+            owner = self._find_dominator(vec)
+            if owner is None:
+                self.skyline[ident] = vec
+                self._plists[ident] = []
+            else:
+                self._plists[owner].append((ident, vec))
+
+    def __len__(self) -> int:
+        return len(self.skyline)
+
+    def _find_dominator(self, vec: Vector) -> int | None:
+        best: int | None = None
+        for sid, svec in self.skyline.items():
+            if dominates(svec, vec) and (best is None or sid < best):
+                best = sid
+        return best
+
+    def remove(self, idents: Iterable[int]) -> dict[int, Vector]:
+        """Remove skyline members; orphaned dominated items are either
+        re-homed or promoted, exactly like UpdateSkyline."""
+        orphans: list[tuple[int, Vector]] = []
+        for ident in idents:
+            if ident not in self.skyline:
+                raise KeyError(f"{ident} is not a current skyline member")
+            del self.skyline[ident]
+            orphans.extend(self._plists.pop(ident))
+
+        # Promote in dominance-monotone order so orphan-vs-orphan
+        # domination resolves correctly.
+        for ident, vec in sorted(orphans, key=lambda it: (-sum(it[1]), it[0])):
+            owner = self._find_dominator(vec)
+            if owner is None:
+                self.skyline[ident] = vec
+                self._plists[ident] = []
+            else:
+                self._plists[owner].append((ident, vec))
+        return self.skyline
+
+    def memory_entries(self) -> int:
+        """Total parked entries (for the memory metric)."""
+        return sum(len(v) for v in self._plists.values())

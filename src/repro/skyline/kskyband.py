@@ -1,0 +1,107 @@
+"""k-skyband computation (paper Section 2.3).
+
+The k-skyband of a dataset contains the points dominated by at most
+``k-1`` others; for any monotone preference function the top-k results
+are contained in the k-skyband [Mouratidis et al., SIGMOD'06, cited as
+the paper's reference 16].  The 1-skyband is exactly the skyline, so
+this module generalizes :mod:`repro.skyline` and provides the
+substrate the paper's related-work discussion builds on (top-k
+monitoring [16], P2P top-k [23]).
+
+Two implementations are provided: a naive O(n²) reference and a
+BBS-style branch-and-bound over the R-tree that prunes a node only
+when its best corner is dominated by at least ``k`` found points
+(the k-skyband analogue of BBS's pruning rule).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+import heapq
+import itertools
+
+from repro.rtree.geometry import Point, dominates
+from repro.rtree.tree import RTree
+
+
+def naive_kskyband(
+    items: Sequence[tuple[int, Point]], k: int
+) -> dict[int, Point]:
+    """Points dominated by fewer than ``k`` others — O(n²) reference."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    out: dict[int, Point] = {}
+    for oid, p in items:
+        dominators = 0
+        for qid, q in items:
+            if qid != oid and dominates(q, p):
+                dominators += 1
+                if dominators >= k:
+                    break
+        if dominators < k:
+            out[oid] = p
+    return out
+
+
+def bbs_kskyband(tree: RTree, k: int) -> dict[int, Point]:
+    """Branch-and-bound k-skyband over the R-tree.
+
+    Entries pop in ascending sky distance; a popped point already
+    dominated by >= k accepted points is discarded (its dominators all
+    popped earlier — the same monotonicity argument as BBS), a node is
+    expanded unless >= k accepted points dominate its top corner.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if tree.root_id is None:
+        return {}
+
+    band: dict[int, Point] = {}
+    seq = itertools.count()
+    heap: list = []
+
+    def push_node(node) -> None:
+        if node.is_leaf:
+            for oid, p in node.entries:
+                heapq.heappush(heap, (-sum(p), next(seq), True, oid, p))
+        else:
+            for cid, mbr in node.entries:
+                heapq.heappush(
+                    heap, (-sum(mbr.hi), next(seq), False, cid, mbr)
+                )
+
+    def dominator_count(corner: Point) -> int:
+        count = 0
+        for p in band.values():
+            if dominates(p, corner):
+                count += 1
+                if count >= k:
+                    break
+        return count
+
+    push_node(tree.store.read_node(tree.root_id))
+    while heap:
+        _, _, is_point, ident, payload = heapq.heappop(heap)
+        corner = payload if is_point else payload.hi
+        if dominator_count(corner) >= k:
+            continue
+        if is_point:
+            band[ident] = payload
+        else:
+            push_node(tree.store.read_node(ident))
+    return band
+
+
+def topk_within_kskyband(
+    items: Sequence[tuple[int, Point]], weights: Sequence[float], k: int
+) -> bool:
+    """Verification helper: the monotone top-k is inside the k-skyband
+    (the containment property the paper's Section 2.3 states)."""
+    from repro.ordering import object_key
+    from repro.scoring import score
+
+    band = naive_kskyband(items, k)
+    ranked = sorted(
+        (object_key(score(weights, p), p, oid), oid) for oid, p in items
+    )
+    return all(oid in band for _, oid in ranked[:k])

@@ -1,0 +1,80 @@
+"""UpdateSkyline — the paper's I/O-optimal skyline maintenance (Alg. 2).
+
+During the initial BBS run every pruned entry (point or node MBR) is
+stored in the plist of exactly one skyline point that dominates it.
+When skyline members are removed (because they were assigned), their
+plist entries are either re-homed to another dominating skyline member
+or — if exclusively dominated by the removed points — pushed into the
+candidate set ``Scand`` and processed by resuming BBS.
+
+Theorem 1 of the paper: a node page is expanded at most once over the
+*entire* assignment run, because once expanded it is neither in any
+plist nor in the heap again.  Tests assert this read-once property.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.rtree.geometry import Point
+from repro.rtree.tree import RTree
+from repro.skyline.bbs import BBSEngine, Entry, entry_corner
+from repro.storage.stats import MemoryTracker
+
+
+class UpdateSkylineManager:
+    """Maintains the skyline of a (logically shrinking) object set.
+
+    Usage::
+
+        mgr = UpdateSkylineManager(tree)
+        sky = mgr.compute_initial()        # BBS with plist tracking
+        mgr.remove([oid, ...])             # assigned objects leave O
+        sky = mgr.skyline                  # maintained incrementally
+    """
+
+    def __init__(self, tree: RTree, mem: MemoryTracker | None = None):
+        self._engine = BBSEngine(tree, track_plists=True, mem=mem)
+        self._computed = False
+
+    @property
+    def skyline(self) -> dict[int, Point]:
+        return self._engine.skyline
+
+    @property
+    def plists(self) -> dict[int, list[Entry]]:
+        return self._engine.plists
+
+    def compute_initial(self) -> dict[int, Point]:
+        if self._computed:
+            raise RuntimeError("initial skyline already computed")
+        self._computed = True
+        self._engine.run(self._engine.seed_from_root())
+        return self._engine.skyline
+
+    def remove(self, oids: Iterable[int]) -> dict[int, Point]:
+        """Remove skyline members (Algorithm 2, generalized to the
+        multi-removal case of Section 5.3) and repair the skyline."""
+        if not self._computed:
+            raise RuntimeError("call compute_initial() first")
+        oids = list(oids)
+        for oid in oids:
+            if oid not in self._engine.skyline:
+                raise KeyError(f"object {oid} is not a current skyline member")
+
+        orphaned: list[Entry] = []
+        for oid in oids:
+            orphaned.extend(self._engine.detach(oid))
+
+        # Re-home entries still dominated by a surviving skyline member;
+        # the rest are exclusively dominated by the removed points.
+        scand: list[Entry] = []
+        for entry in orphaned:
+            dominator = self._engine.dom.find_dominator(entry_corner(entry))
+            if dominator is not None:
+                self._engine.append_plist(dominator, entry)
+            else:
+                scand.append(entry)
+
+        self._engine.run(self._engine.make_heap(scand))
+        return self._engine.skyline

@@ -1,0 +1,60 @@
+"""Sort-based skyline with early termination (LESS / SaLSa style).
+
+Presorting by a dominance-monotone key (attribute sum, descending)
+guarantees a point can only be dominated by points appearing *before*
+it, so one filtered scan suffices (LESS [10]).  SaLSa's [3] stopping
+rule is applied on top: once the sum watermark drops strictly below
+the best minimum-coordinate of any skyline point found so far, every
+remaining point is dominated and the scan stops without reading the
+rest of the ordered input.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.rtree.geometry import dominates
+
+Point = tuple[float, ...]
+
+
+def sfs_skyline(items: Sequence[tuple[int, Point]]) -> dict[int, Point]:
+    """Skyline of ``(id, point)`` pairs via sort-filter-scan."""
+    result: dict[int, Point] = {}
+    return _scan(items, result)[0]
+
+
+def sfs_skyline_with_stats(
+    items: Sequence[tuple[int, Point]],
+) -> tuple[dict[int, Point], int]:
+    """Like :func:`sfs_skyline` but also returns how many of the sorted
+    input points were actually examined (to verify early termination)."""
+    result: dict[int, Point] = {}
+    return _scan(items, result)
+
+
+def _scan(
+    items: Sequence[tuple[int, Point]], result: dict[int, Point]
+) -> tuple[dict[int, Point], int]:
+    # Sum is dominance-monotone: p dominates q  =>  sum(p) > sum(q).
+    ordered = sorted(items, key=lambda it: (-sum(it[1]), it[0]))
+    skyline_points: list[Point] = []
+    best_min = float("-inf")  # max over skyline of min coordinate
+    examined = 0
+
+    for oid, p in ordered:
+        watermark = sum(p)
+        if watermark < best_min:
+            # Every remaining q has q_i <= sum(q) <= watermark < best_min
+            # <= all coords of some skyline point: strictly dominated.
+            break
+        examined += 1
+        if any(dominates(q, p) for q in skyline_points):
+            continue
+        result[oid] = p
+        skyline_points.append(p)
+        m = min(p)
+        if m > best_min:
+            best_min = m
+
+    return result, examined

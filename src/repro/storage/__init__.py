@@ -1,0 +1,23 @@
+"""Simulated secondary-storage substrate.
+
+The paper evaluates all algorithms on an R-tree stored in 4 KB disk
+pages behind an LRU buffer, and reports *page accesses* as the I/O
+metric.  This package provides that substrate:
+
+- :class:`~repro.storage.stats.IOStats` — physical-read / buffer-hit
+  counters shared by everything that touches a page.
+- :class:`~repro.storage.pagefile.PageFile` — a page-granular
+  simulated disk (bytes in, bytes out).
+- :class:`~repro.storage.buffer.LRUBufferPool` — an LRU buffer in
+  front of a :class:`PageFile`, sized as a fraction of the file like
+  the paper's "buffer size = 2% of the tree size" setting.
+- :class:`~repro.storage.stats.MemoryTracker` — peak-memory
+  accounting for the search structures (priority queues, plists, TA
+  states) the paper charges to each algorithm.
+"""
+
+from repro.storage.buffer import LRUBufferPool
+from repro.storage.pagefile import PageFile
+from repro.storage.stats import IOStats, MemoryTracker
+
+__all__ = ["IOStats", "LRUBufferPool", "MemoryTracker", "PageFile"]

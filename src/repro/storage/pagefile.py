@@ -1,0 +1,87 @@
+"""A page-granular simulated disk.
+
+``PageFile`` stores fixed-size pages addressed by integer page ids.
+It is deliberately dumb: no caching, no free-list compaction — every
+read and write is "physical" and is charged to the attached
+:class:`~repro.storage.stats.IOStats`.  Caching belongs to
+:class:`~repro.storage.buffer.LRUBufferPool`.
+"""
+
+from __future__ import annotations
+
+from repro.storage.stats import IOStats
+
+DEFAULT_PAGE_SIZE = 4096
+
+
+class PageFile:
+    """Fixed-page-size simulated disk file.
+
+    Parameters
+    ----------
+    page_size:
+        Page capacity in bytes (paper default: 4096).
+    stats:
+        Optional shared :class:`IOStats`; a private one is created if
+        omitted.
+    """
+
+    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE, stats: IOStats | None = None):
+        if page_size <= 0:
+            raise ValueError(f"page_size must be positive, got {page_size}")
+        self.page_size = page_size
+        self.stats = stats if stats is not None else IOStats()
+        self._pages: dict[int, bytes] = {}
+        self._next_id = 0
+        self._free: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_pages * self.page_size
+
+    def allocate(self) -> int:
+        """Reserve a page id (reusing freed ids first)."""
+        if self._free:
+            pid = self._free.pop()
+        else:
+            pid = self._next_id
+            self._next_id += 1
+        self._pages[pid] = b""
+        return pid
+
+    def write(self, page_id: int, data: bytes) -> None:
+        """Write ``data`` to ``page_id``; must fit in one page."""
+        if page_id not in self._pages:
+            raise KeyError(f"page {page_id} was never allocated")
+        if len(data) > self.page_size:
+            raise ValueError(
+                f"payload of {len(data)} bytes exceeds page size {self.page_size}"
+            )
+        self._pages[page_id] = bytes(data)
+        self.stats.record_write()
+
+    def read(self, page_id: int) -> bytes:
+        """Physically read a page (always charged as a miss)."""
+        try:
+            data = self._pages[page_id]
+        except KeyError:
+            raise KeyError(f"page {page_id} was never allocated") from None
+        self.stats.record_miss()
+        return data
+
+    def free(self, page_id: int) -> None:
+        """Release a page for reuse."""
+        if page_id not in self._pages:
+            raise KeyError(f"page {page_id} was never allocated")
+        del self._pages[page_id]
+        self._free.append(page_id)
+
+    def page_ids(self) -> list[int]:
+        return sorted(self._pages)

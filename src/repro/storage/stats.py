@@ -1,0 +1,117 @@
+"""I/O and memory accounting.
+
+The paper's three evaluation metrics are (i) I/O cost in page
+accesses, (ii) CPU time and (iii) the maximum memory consumed by the
+search structures.  ``IOStats`` implements (i) and ``MemoryTracker``
+implements (iii); CPU time is measured by the bench harness with
+``time.perf_counter``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOStats:
+    """Counters for page-level I/O.
+
+    ``physical_reads`` is the paper's "I/O accesses" metric: the number
+    of page requests that missed the buffer and had to go to "disk".
+    ``logical_reads`` counts every page request (hits + misses), which
+    is useful to verify buffer behaviour (e.g. SB's read-once property
+    makes its logical and physical counts coincide for any buffer).
+    """
+
+    physical_reads: int = 0
+    logical_reads: int = 0
+    physical_writes: int = 0
+
+    @property
+    def buffer_hits(self) -> int:
+        return self.logical_reads - self.physical_reads
+
+    def record_hit(self) -> None:
+        self.logical_reads += 1
+
+    def record_miss(self) -> None:
+        self.logical_reads += 1
+        self.physical_reads += 1
+
+    def record_write(self) -> None:
+        self.physical_writes += 1
+
+    def reset(self) -> None:
+        self.physical_reads = 0
+        self.logical_reads = 0
+        self.physical_writes = 0
+
+    def snapshot(self) -> "IOStats":
+        return IOStats(self.physical_reads, self.logical_reads, self.physical_writes)
+
+    def delta_since(self, earlier: "IOStats") -> "IOStats":
+        """Return the counts accumulated since ``earlier`` was snapshotted."""
+        return IOStats(
+            self.physical_reads - earlier.physical_reads,
+            self.logical_reads - earlier.logical_reads,
+            self.physical_writes - earlier.physical_writes,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"IOStats(reads={self.physical_reads}, hits={self.buffer_hits}, "
+            f"writes={self.physical_writes})"
+        )
+
+
+@dataclass
+class MemoryTracker:
+    """Peak-memory accounting for an algorithm's search structures.
+
+    Algorithms register named gauges (e.g. ``"ta_states"``,
+    ``"plists"``, ``"topk_heaps"``) whose current byte sizes they update
+    as they run; the tracker records the peak of the *sum*.  Sizes are
+    estimates computed from entry counts via the ``BYTES_PER_*``
+    constants below, mirroring how the paper charges each algorithm for
+    its priority queues, pruned lists and TA states rather than for the
+    whole process image.
+    """
+
+    gauges: dict[str, int] = field(default_factory=dict)
+    peak_bytes: int = 0
+
+    def set_gauge(self, name: str, nbytes: int) -> None:
+        self.gauges[name] = nbytes
+        total = self.current_bytes
+        if total > self.peak_bytes:
+            self.peak_bytes = total
+
+    def add(self, name: str, nbytes: int) -> None:
+        self.set_gauge(name, self.gauges.get(name, 0) + nbytes)
+
+    @property
+    def current_bytes(self) -> int:
+        return sum(self.gauges.values())
+
+    def reset(self) -> None:
+        self.gauges.clear()
+        self.peak_bytes = 0
+
+
+# Estimated per-entry sizes (bytes) for the search structures.  The
+# exact constants only scale the memory metric; relative comparisons
+# between algorithms are insensitive to them.
+BYTES_PER_HEAP_ENTRY = 64  # (key, payload) tuple in a binary heap
+BYTES_PER_PLIST_ENTRY = 48  # an (mbr/point, page id) pruned entry
+BYTES_PER_LIST_POSITION = 16  # a cursor into a sorted coefficient list
+BYTES_PER_SCORE_ENTRY = 32  # (score, id) pair kept in a TA heap
+
+
+def heap_bytes(n_entries: int) -> int:
+    """Estimated size of a binary heap with ``n_entries`` elements."""
+    return n_entries * BYTES_PER_HEAP_ENTRY
+
+
+def plist_bytes(n_entries: int) -> int:
+    """Estimated size of ``n_entries`` pruned-list elements."""
+    return n_entries * BYTES_PER_PLIST_ENTRY

@@ -1,0 +1,89 @@
+"""BRS — Branch-and-bound Ranked Search (Tao et al. [19]).
+
+Incremental top-k over an R-tree for a non-negative linear preference
+function: heap entries are visited in descending ``maxscore`` (the
+score of an MBR's best corner), so every popped point is the best
+remaining object.  The search is *resumable* — ``next()`` keeps
+returning the next-best object — and skips objects in a caller-shared
+exclusion set (the assigned-object tombstones of the Brute Force and
+Chain baselines; the paper's Section 4.1 "maintain the search heap
+for each top-1 query ... the search for f' can resume").
+
+The heap key embeds the canonical object order (score desc, coords
+lex desc, id asc; see :mod:`repro.ordering`), and node entries sort
+before point entries on exact key ties — an MBR whose corner ties a
+point may still contain a canonically better point, so it must be
+expanded first.  This makes the emission order canonical-exact.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Collection, Sequence
+
+from repro.ordering import neg
+from repro.rtree.tree import RTree
+from repro.scoring import score
+from repro.storage.stats import BYTES_PER_HEAP_ENTRY
+
+_NODE = 0
+_POINT = 1
+
+
+class BRSSearch:
+    """Resumable ranked search for one preference function."""
+
+    def __init__(
+        self,
+        tree: RTree,
+        weights: Sequence[float],
+        excluded: Collection[int] | None = None,
+    ):
+        self.tree = tree
+        self.weights = tuple(weights)
+        self.excluded = excluded if excluded is not None else frozenset()
+        self._seq = itertools.count()
+        self._heap: list = []
+        self._started = False
+
+    def _push_node_entries(self, node) -> None:
+        push = heapq.heappush
+        if node.is_leaf:
+            for oid, p in node.entries:
+                s = score(self.weights, p)
+                push(
+                    self._heap,
+                    ((-s, neg(p), _POINT, oid), next(self._seq), _POINT, oid, p),
+                )
+        else:
+            for cid, mbr in node.entries:
+                s = mbr.maxscore(self.weights)
+                push(
+                    self._heap,
+                    ((-s, neg(mbr.hi), _NODE, cid), next(self._seq), _NODE, cid, mbr),
+                )
+
+    def next(self) -> tuple[int, tuple[float, ...], float] | None:
+        """The next best non-excluded object as ``(oid, point, score)``,
+        or ``None`` when the tree is exhausted."""
+        if not self._started:
+            self._started = True
+            if self.tree.root_id is not None:
+                root = self.tree.store.read_node(self.tree.root_id)
+                self._push_node_entries(root)
+        while self._heap:
+            key, _, kind, ident, payload = heapq.heappop(self._heap)
+            if kind == _POINT:
+                if ident in self.excluded:
+                    continue
+                return ident, payload, -key[0]
+            node = self.tree.store.read_node(ident)  # the page access
+            self._push_node_entries(node)
+        return None
+
+    def memory_bytes(self) -> int:
+        return len(self._heap) * BYTES_PER_HEAP_ENTRY
+
+    def heap_size(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,97 @@
+"""Onion — convex-hull-layer index for linear top-k (Chang et al. [5]).
+
+Precomputes convex hull layers: layer 1 is the hull of all points,
+layer 2 the hull of what remains, and so on.  A linear function's
+maximum over any convex set is attained at a hull vertex, so the
+maximum score of layer j+1's points never exceeds layer j's — top-k
+expands layers inward until the k-th incumbent provably beats
+everything deeper.
+
+The paper lists Onion as related work and its two weaknesses (deep
+expansion for large k; hull cost O(n^{D/2})) motivate the skyline
+route instead.  It is included as a baseline/oracle and exercised in
+tests and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.ordering import ObjectKey, object_key
+from repro.scoring import SCORE_EPS, score
+
+Point = tuple[float, ...]
+
+
+def _hull_vertex_coords(coords: list[Point]) -> set[Point]:
+    """Coordinates on the convex hull of the given distinct points."""
+    dims = len(coords[0])
+    if len(coords) <= dims + 1:
+        return set(coords)
+    if dims == 1:
+        lo = min(coords)
+        hi = max(coords)
+        return {lo, hi}
+    from scipy.spatial import ConvexHull, QhullError
+
+    arr = np.asarray(coords)
+    try:
+        hull = ConvexHull(arr)
+    except QhullError:
+        try:
+            hull = ConvexHull(arr, qhull_options="QJ")  # joggle degeneracies
+        except QhullError:
+            return set(coords)  # give up: treat all as hull (safe)
+    return {coords[i] for i in hull.vertices}
+
+
+class OnionIndex:
+    """Convex-hull layers over ``(oid, point)`` items."""
+
+    def __init__(self, items: Sequence[tuple[int, Point]]):
+        self.layers: list[list[tuple[int, Point]]] = []
+        remaining = [(oid, tuple(p)) for oid, p in items]
+        while remaining:
+            distinct = sorted({p for _, p in remaining})
+            vertex_coords = _hull_vertex_coords(distinct)
+            layer = [(oid, p) for oid, p in remaining if p in vertex_coords]
+            if not layer:  # cannot happen, but never loop forever
+                layer = remaining
+            self.layers.append(layer)
+            remaining = [(oid, p) for oid, p in remaining if p not in vertex_coords]
+
+    @property
+    def n_layers(self) -> int:
+        return len(self.layers)
+
+    def topk(self, weights: Sequence[float], k: int) -> list[tuple[int, float]]:
+        """Top-k ``(oid, score)`` by expanding layers progressively.
+
+        Stops once the k-th incumbent *strictly* beats the last
+        expanded layer's maximum (deeper layers can never exceed it);
+        score ties force deeper expansion so results stay
+        canonical-exact.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        incumbents: list[tuple[ObjectKey, int]] = []
+        layers_expanded = 0
+        for layer in self.layers:
+            layer_max = float("-inf")
+            for oid, p in layer:
+                s = score(weights, p)
+                if s > layer_max:
+                    layer_max = s
+                bisect.insort(incumbents, (object_key(s, p, oid), oid))
+                if len(incumbents) > k:
+                    incumbents.pop()
+            layers_expanded += 1
+            # SCORE_EPS also absorbs qhull's joggle perturbation in the
+            # degenerate-input fallback.
+            if len(incumbents) >= k and -incumbents[k - 1][0][0] > layer_max + SCORE_EPS:
+                break
+        self.last_layers_expanded = layers_expanded
+        return [(oid, -key[0]) for key, oid in incumbents[:k]]

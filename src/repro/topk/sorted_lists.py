@@ -1,0 +1,197 @@
+"""Sorted coefficient lists over the function set ``F``.
+
+Section 5.1: "we propose to index the functions as sorted lists, one
+for each coefficient.  List ``L_i`` holds the ``(f.α_i, f)`` pairs of
+all functions, sorted on ``f.α_i`` in descending order."  The reverse
+top-1 searches of :mod:`repro.topk.reverse` scan these lists TA-style.
+
+Functions assigned to an object are *killed* lazily: list entries stay
+in place (a physical rebuild per assignment would be absurd) and scans
+skip dead ids; the last *scanned* coefficient remains a valid
+threshold bound for all unseen alive functions because lists are
+sorted.
+
+``PagedCoefficientLists`` materializes the same lists on simulated
+disk pages for the Section 7.6 setting (``F`` too large for memory);
+sequential block reads and random accesses are charged to an
+:class:`IOStats` so benchmarks can report function-side I/O.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.instances import FunctionSet
+from repro.storage.stats import IOStats
+
+
+class CoefficientLists:
+    """In-memory descending coefficient lists with lazy deletion.
+
+    Besides the plain ``(coef, fid)`` lists, numpy views (``coefs_np``,
+    ``fids_np``, ``weights_np``, ``alive_np``) back the batched hot
+    path of :class:`repro.topk.reverse.ReverseBestSearch`.
+    """
+
+    #: Paged subclasses set this so hot paths skip the no-op charges.
+    charges_io = False
+
+    def __init__(self, functions: FunctionSet):
+        self.functions = functions
+        self.dims = functions.dims
+        self.weights = functions.all_effective_weights()
+        n = len(functions)
+        self.alive = [True] * n
+        self.n_alive = n
+        self._max_gamma_dirty = False
+        self._max_gamma = functions.max_gamma
+        # lists[d] = [(coef, fid), ...] sorted by coef desc, fid asc —
+        # the fid-ascending tie order makes duplicate functions appear
+        # in canonical order, which the termination proofs rely on.
+        self.lists: list[list[tuple[float, int]]] = [
+            sorted(
+                ((self.weights[fid][d], fid) for fid in range(n)),
+                key=lambda e: (-e[0], e[1]),
+            )
+            for d in range(self.dims)
+        ]
+        # Vectorized views of the same data.
+        self.coefs_np = [
+            np.array([c for c, _ in lst], dtype=np.float64) for lst in self.lists
+        ]
+        self.fids_np = [
+            np.array([f for _, f in lst], dtype=np.intp) for lst in self.lists
+        ]
+        self.weights_np = (
+            np.array(self.weights, dtype=np.float64)
+            if n
+            else np.empty((0, self.dims))
+        )
+        self.alive_np = np.ones(n, dtype=bool)
+
+    def __len__(self) -> int:
+        return self.n_alive
+
+    def length(self, dim: int) -> int:
+        return len(self.lists[dim])
+
+    def entry(self, dim: int, pos: int) -> tuple[float, int]:
+        """``(coefficient, fid)`` at ``pos`` of list ``dim`` (may be dead)."""
+        return self.lists[dim][pos]
+
+    def initial_bound(self, dim: int) -> float:
+        """Largest coefficient in a list: the pre-scan threshold bound."""
+        lst = self.lists[dim]
+        return lst[0][0] if lst else 0.0
+
+    def is_alive(self, fid: int) -> bool:
+        return self.alive[fid]
+
+    def kill(self, fid: int) -> None:
+        """Lazily delete an assigned function."""
+        if not self.alive[fid]:
+            raise KeyError(f"function {fid} is already dead")
+        self.alive[fid] = False
+        self.alive_np[fid] = False
+        self.n_alive -= 1
+        self._max_gamma_dirty = True
+
+    def effective_weights(self, fid: int) -> tuple[float, ...]:
+        return self.weights[fid]
+
+    def max_alive_gamma(self) -> float:
+        """Knapsack budget ``B`` for the prioritized threshold
+        (Section 6.2: ``B`` starts at the largest priority)."""
+        if self.functions.gammas is None:
+            return 1.0
+        if self._max_gamma_dirty:
+            alive_gammas = [
+                g for fid, g in enumerate(self.functions.gammas) if self.alive[fid]
+            ]
+            self._max_gamma = max(alive_gammas) if alive_gammas else 1.0
+            self._max_gamma_dirty = False
+        return self._max_gamma
+
+    # -- I/O charging hooks (no-ops in memory; see the paged subclass) --
+
+    def charge_range(self, dim: int, lo: int, hi: int) -> None:
+        """Charge a sequential read of entries [lo, hi) of one list."""
+
+    def charge_random(self, fid: int, skip_dim: int) -> None:
+        """Charge random accesses for a newly seen function's other
+        coefficients (all lists except ``skip_dim``)."""
+
+
+class PagedCoefficientLists(CoefficientLists):
+    """Disk-resident coefficient lists (Section 7.6).
+
+    Entries are grouped into blocks of ``entries_per_page``; reading a
+    block sequentially or random-accessing a function's coefficient in
+    another list costs one page access unless the page was the last
+    one read on that list (a trivial 1-page-per-list cache, which is
+    what "access the lists in a round-robin fashion — one block at a
+    time" implies).
+    """
+
+    # One (coefficient, fid) entry: 8-byte float + 8-byte id.
+    ENTRY_BYTES = 16
+    charges_io = True
+
+    def __init__(
+        self,
+        functions: FunctionSet,
+        page_size: int = 4096,
+        stats: IOStats | None = None,
+    ):
+        super().__init__(functions)
+        self.entries_per_page = max(1, page_size // self.ENTRY_BYTES)
+        self.stats = stats if stats is not None else IOStats()
+        # Position of each function in each list, for random access.
+        self._positions: list[dict[int, int]] = [
+            {fid: pos for pos, (_, fid) in enumerate(lst)} for lst in self.lists
+        ]
+        self._last_page: list[int | None] = [None] * self.dims
+
+    def _touch(self, dim: int, pos: int) -> None:
+        page = pos // self.entries_per_page
+        if self._last_page[dim] != page:
+            self.stats.record_miss()
+            self._last_page[dim] = page
+        else:
+            self.stats.record_hit()
+
+    def entry(self, dim: int, pos: int) -> tuple[float, int]:
+        self._touch(dim, pos)
+        return self.lists[dim][pos]
+
+    def random_access(self, fid: int, dim: int) -> float:
+        """Fetch one coefficient by function id (charged as a page read)."""
+        pos = self._positions[dim][fid]
+        self._touch(dim, pos)
+        return self.lists[dim][pos][0]
+
+    def num_pages(self) -> int:
+        import math
+
+        return sum(
+            math.ceil(len(lst) / self.entries_per_page) for lst in self.lists
+        )
+
+    def charge_range(self, dim: int, lo: int, hi: int) -> None:
+        """Charge the pages covering entries [lo, hi) of list ``dim``
+        (used by the batched TA scan of ReverseBestSearch)."""
+        if hi <= lo:
+            return
+        first = lo // self.entries_per_page
+        last = (hi - 1) // self.entries_per_page
+        for page in range(first, last + 1):
+            if self._last_page[dim] != page:
+                self.stats.record_miss()
+                self._last_page[dim] = page
+            else:
+                self.stats.record_hit()
+
+    def charge_random(self, fid: int, skip_dim: int) -> None:
+        for j in range(self.dims):
+            if j != skip_dim:
+                self._touch(j, self._positions[j][fid])

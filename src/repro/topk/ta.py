@@ -1,0 +1,82 @@
+"""Classic Threshold Algorithm (Fagin et al. [8]) for top-k queries.
+
+The forward direction of TA: given objects exposed as one descending
+sorted list per attribute, find the k objects maximizing a monotone
+linear aggregate.  The paper uses TA in the *reverse* direction
+(:mod:`repro.topk.reverse`); this module provides the textbook
+algorithm as related-work substrate, reference and test oracle.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Sequence
+
+from repro.ordering import ObjectKey, object_key
+from repro.scoring import score
+
+Point = tuple[float, ...]
+
+
+def ta_topk(
+    items: Sequence[tuple[int, Point]],
+    weights: Sequence[float],
+    k: int,
+) -> list[tuple[int, float]]:
+    """Top-k ``(oid, score)`` under ``weights``, canonically ordered.
+
+    Termination is canonical-exact: the scan stops only when the k-th
+    incumbent *strictly* beats the threshold (or input is exhausted),
+    so ties at the threshold are resolved by the canonical order.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if not items:
+        return []
+    dims = len(items[0][1])
+    points = dict(items)
+    lists = [
+        sorted(((p[d], oid) for oid, p in items), key=lambda e: (-e[0], e[1]))
+        for d in range(dims)
+    ]
+    positions = [0] * dims
+    bounds = [lists[d][0][0] if lists[d] else 0.0 for d in range(dims)]
+    seen: set[int] = set()
+    incumbents: list[tuple[ObjectKey, int]] = []  # sorted, index 0 = best
+
+    def threshold() -> float:
+        # Computed via score() itself: identical left-to-right rounding
+        # makes "unseen score <= threshold" hold exactly in floats, so
+        # the strict-> termination needs no epsilon here.
+        return score(weights, bounds)
+
+    def exhausted() -> bool:
+        return all(positions[d] >= len(lists[d]) for d in range(dims))
+
+    d = 0  # round-robin cursor
+    while True:
+        if len(incumbents) >= k:
+            kth_score = -incumbents[k - 1][0][0]
+            if kth_score > threshold() or exhausted():
+                break
+        elif exhausted():
+            break
+        # Advance the next non-exhausted list round-robin.
+        for _ in range(dims):
+            if positions[d] < len(lists[d]):
+                break
+            d = (d + 1) % dims
+        value, oid = lists[d][positions[d]]
+        positions[d] += 1
+        bounds[d] = value
+        d = (d + 1) % dims
+        if oid in seen:
+            continue
+        seen.add(oid)
+        p = points[oid]
+        s = score(weights, p)
+        bisect.insort(incumbents, (object_key(s, p, oid), oid))
+        if len(incumbents) > k:
+            incumbents.pop()
+
+    return [(oid, -key[0]) for key, oid in incumbents[:k]]

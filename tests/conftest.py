@@ -1,0 +1,87 @@
+"""Shared fixtures and instance builders for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.data.instances import FunctionSet, ObjectSet
+
+# ---------------------------------------------------------------------------
+# Random instance builders (plain `random`, used by seeded loop tests)
+# ---------------------------------------------------------------------------
+
+TIE_VALUES = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+
+def random_points(n: int, dims: int, rng: random.Random, tie_heavy: bool = False):
+    if tie_heavy:
+        return [
+            tuple(rng.choice(TIE_VALUES) for _ in range(dims)) for _ in range(n)
+        ]
+    return [tuple(rng.random() for _ in range(dims)) for _ in range(n)]
+
+
+def random_weights(n: int, dims: int, rng: random.Random, tie_heavy: bool = False):
+    out = []
+    for _ in range(n):
+        if tie_heavy:
+            w = [rng.choice(TIE_VALUES) for _ in range(dims)]
+        else:
+            w = [rng.random() for _ in range(dims)]
+        s = sum(w)
+        out.append(tuple(x / s for x in w) if s > 0 else tuple([1.0 / dims] * dims))
+    return out
+
+
+def random_instance(
+    nf: int,
+    no: int,
+    dims: int,
+    seed: int = 0,
+    capacities: bool = False,
+    priorities: bool = False,
+    tie_heavy: bool = False,
+) -> tuple[FunctionSet, ObjectSet]:
+    rng = random.Random(seed)
+    points = random_points(no, dims, rng, tie_heavy)
+    weights = random_weights(nf, dims, rng, tie_heavy)
+    fcaps = [rng.randint(1, 3) for _ in range(nf)] if capacities else None
+    ocaps = [rng.randint(1, 3) for _ in range(no)] if capacities else None
+    gammas = [float(rng.randint(1, 4)) for _ in range(nf)] if priorities else None
+    return (
+        FunctionSet(weights, gammas=gammas, capacities=fcaps),
+        ObjectSet(points, capacities=ocaps),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies
+# ---------------------------------------------------------------------------
+
+coord = st.one_of(
+    st.sampled_from(TIE_VALUES),  # force ties/duplicates often
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False, width=32),
+)
+
+
+def points_strategy(dims: int, min_size=1, max_size=40):
+    return st.lists(
+        st.tuples(*([coord] * dims)), min_size=min_size, max_size=max_size
+    )
+
+
+def weights_strategy(dims: int, min_size=1, max_size=15):
+    raw = st.tuples(*([coord] * dims)).filter(lambda w: sum(w) > 0)
+    return st.lists(
+        raw.map(lambda w: tuple(x / sum(w) for x in w)),
+        min_size=min_size,
+        max_size=max_size,
+    )
+
+
+@pytest.fixture
+def rng():
+    return random.Random(1234)

@@ -1,0 +1,122 @@
+"""BBS over the R-tree: correctness, I/O optimality, plist invariants."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.rtree.store import DiskNodeStore
+from repro.rtree.tree import RTree
+from repro.skyline import bbs_skyline, naive_skyline
+from repro.skyline.bbs import NODE, POINT, BBSEngine
+from repro.rtree.geometry import dominates
+
+from .conftest import points_strategy, random_points
+
+
+def build_tree(items, dims, page_size=256, buffer_capacity=10**6):
+    store = DiskNodeStore(dims, page_size=page_size, buffer_capacity=buffer_capacity)
+    tree = RTree.bulk_load(store, dims, items)
+    store.stats.reset()
+    return tree, store
+
+
+@pytest.mark.parametrize("dims", [2, 3, 4])
+def test_bbs_equals_naive(dims, rng):
+    items = list(enumerate(random_points(500, dims, rng)))
+    tree, _ = build_tree(items, dims)
+    assert bbs_skyline(tree) == naive_skyline(items)
+
+
+def test_bbs_tie_heavy(rng):
+    items = list(enumerate(random_points(300, 3, rng, tie_heavy=True)))
+    tree, _ = build_tree(items, 3)
+    assert bbs_skyline(tree) == naive_skyline(items)
+
+
+@given(points_strategy(2, min_size=1, max_size=60))
+@settings(max_examples=30, deadline=None)
+def test_bbs_property_2d(pts):
+    items = list(enumerate(pts))
+    tree, _ = build_tree(items, 2)
+    assert bbs_skyline(tree) == naive_skyline(items)
+
+
+def test_bbs_empty_tree():
+    store = DiskNodeStore(2, page_size=256)
+    tree = RTree.bulk_load(store, 2, [])
+    assert bbs_skyline(tree) == {}
+
+
+def test_bbs_io_optimality(rng):
+    """BBS must not expand any node whose MBR top corner is dominated
+    by the skyline — its page count equals that of the non-dominated
+    node set (I/O optimality, Papadias et al.)."""
+    dims = 3
+    items = list(enumerate(random_points(2000, dims, rng)))
+    tree, store = build_tree(items, dims, buffer_capacity=0)
+    store.stats.reset()
+    sky = bbs_skyline(tree)
+    accessed = store.stats.physical_reads
+
+    # Count nodes NOT dominated by the final skyline (these must all be
+    # visited by any correct algorithm; BBS visits exactly these).
+    sky_pts = list(sky.values())
+
+    def count_needed(pid):
+        node = tree.store.read_node(pid)
+        total = 1
+        if not node.is_leaf:
+            for cid, mbr in node.entries:
+                if not any(dominates(p, mbr.hi) for p in sky_pts):
+                    total += count_needed(cid)
+        return total
+
+    needed = count_needed(tree.root_id)
+    assert accessed == needed
+
+
+class TestPlists:
+    def test_plist_partition_invariant(self, rng):
+        """Every pruned entry lives in exactly one plist and is
+        dominated by its owner (Section 5.2)."""
+        dims = 3
+        items = list(enumerate(random_points(800, dims, rng)))
+        tree, _ = build_tree(items, dims)
+        engine = BBSEngine(tree, track_plists=True)
+        engine.run(engine.seed_from_root())
+
+        seen_ids = set()
+        for owner, entries in engine.plists.items():
+            owner_pt = engine.skyline[owner]
+            for kind, ident, payload in entries:
+                key = (kind, ident)
+                assert key not in seen_ids, "entry in two plists"
+                seen_ids.add(key)
+                corner = payload.hi if kind == NODE else payload
+                assert dominates(owner_pt, corner)
+
+    def test_all_items_accounted_for(self, rng):
+        """skyline + plist points + points under plist subtrees = O."""
+        dims = 2
+        items = list(enumerate(random_points(400, dims, rng)))
+        tree, _ = build_tree(items, dims)
+        engine = BBSEngine(tree, track_plists=True)
+        engine.run(engine.seed_from_root())
+
+        covered = set(engine.skyline)
+
+        def subtree_oids(pid):
+            node = tree.store.read_node(pid)
+            if node.is_leaf:
+                return {oid for oid, _ in node.entries}
+            out = set()
+            for cid, _ in node.entries:
+                out |= subtree_oids(cid)
+            return out
+
+        for entries in engine.plists.values():
+            for kind, ident, _ in entries:
+                if kind == POINT:
+                    covered.add(ident)
+                else:
+                    covered |= subtree_oids(ident)
+        assert covered == {oid for oid, _ in items}

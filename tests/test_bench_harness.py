@@ -1,0 +1,109 @@
+"""The benchmark harness itself: scales, caching, cell metrics,
+reporting — so figure regeneration is trustworthy."""
+
+import pytest
+
+from repro.bench.config import Defaults, current_scale, defaults
+from repro.bench.harness import (
+    clear_caches,
+    get_index,
+    make_instance,
+    run_cell,
+)
+from repro.bench.reporting import format_series
+
+
+class TestConfig:
+    def test_default_scale_is_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert current_scale() == "small"
+        d = defaults()
+        assert d.nf == 100 and d.no == 2000
+
+    def test_scales(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "medium")
+        d = defaults()
+        assert d.nf == 500 and d.no == 10000
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+        d = defaults()
+        assert d.nf == 5000 and d.no == 100000
+
+    def test_invalid_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "gigantic")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_sweeps_preserve_ratios(self):
+        d = Defaults(nf=100, no=2000)
+        assert d.f_sweep() == [20, 50, 100, 200, 400]
+        assert d.o_sweep() == [200, 1000, 2000, 4000, 8000]
+
+
+class TestHarness:
+    def setup_method(self):
+        clear_caches()
+
+    def test_instance_caching(self):
+        a = make_instance(10, 20, 3, seed=1)
+        b = make_instance(10, 20, 3, seed=1)
+        assert a[0] is b[0] and a[1] is b[1]
+        c = make_instance(10, 20, 3, seed=2)
+        assert c[0] is not a[0]
+
+    def test_index_caching_per_backend(self):
+        _, objects = make_instance(5, 50, 2, seed=3)
+        a = get_index(objects)
+        b = get_index(objects)
+        assert a is b
+        c = get_index(objects, memory=True)
+        assert c is not a and c.is_memory
+
+    def test_capacities_priorities_real(self):
+        f, o = make_instance(
+            8, 30, 3, seed=4, function_capacity=3, object_capacity=2,
+            max_priority=4,
+        )
+        assert f.total_capacity == 24
+        assert o.total_capacity == 60
+        assert f.max_gamma <= 4
+        fz, oz = make_instance(5, 40, 3, seed=5, real="zillow")
+        assert oz.dims == 5 and fz.dims == 5
+        with pytest.raises(ValueError):
+            make_instance(5, 40, 3, seed=5, real="imdb")
+
+    def test_run_cell_metrics(self):
+        f, o = make_instance(10, 200, 3, seed=6)
+        cell = run_cell("sb", f, o, params={"x": 1})
+        assert cell.method == "sb"
+        assert cell.pairs == 10
+        assert cell.io > 0
+        assert cell.cpu_seconds > 0
+        assert cell.loops > 0
+        assert cell.params == {"x": 1}
+
+    def test_run_cell_cold_start_is_deterministic(self):
+        f, o = make_instance(10, 200, 3, seed=7)
+        a = run_cell("sb", f, o)
+        b = run_cell("sb", f, o)
+        assert a.io == b.io and a.loops == b.loops
+
+
+class TestReporting:
+    def test_format_series_layout(self):
+        f, o = make_instance(5, 100, 2, seed=8)
+        cells = [
+            run_cell("sb", f, o, params={"D": 2}),
+            run_cell("brute-force", f, o, params={"D": 2}),
+        ]
+        text = format_series("Figure X", "D", [2], cells)
+        assert "Figure X" in text
+        assert "I/O accesses" in text
+        assert "CPU time" in text
+        assert "peak memory" in text
+        assert "sb" in text and "brute-force" in text
+
+    def test_missing_cell_renders_dash(self):
+        f, o = make_instance(5, 100, 2, seed=9)
+        cells = [run_cell("sb", f, o, params={"D": 2})]
+        text = format_series("Fig", "D", [2, 3], cells)
+        assert "-" in text.splitlines()[-3]

@@ -1,0 +1,102 @@
+"""DominanceIndex must agree with the scalar dominance definition."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtree.geometry import dominates
+from repro.skyline.dominance import DominanceIndex
+
+from .conftest import points_strategy
+
+
+def scalar_find(members: dict, corner):
+    best = None
+    for oid, p in members.items():
+        if dominates(p, corner) and (best is None or oid < best):
+            best = oid
+    return best
+
+
+def test_empty_index():
+    idx = DominanceIndex(3)
+    assert idx.find_dominator((0.0, 0.0, 0.0)) is None
+    assert len(idx) == 0
+
+
+def test_add_remove_membership():
+    idx = DominanceIndex(2)
+    idx.add(5, (0.5, 0.5))
+    assert 5 in idx
+    idx.remove(5)
+    assert 5 not in idx
+    assert idx.find_dominator((0.0, 0.0)) is None
+
+
+def test_duplicate_add_rejected():
+    idx = DominanceIndex(2)
+    idx.add(1, (0.1, 0.1))
+    try:
+        idx.add(1, (0.2, 0.2))
+    except KeyError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("duplicate add must raise")
+
+
+def test_smallest_dominator_returned():
+    idx = DominanceIndex(2)
+    idx.add(9, (0.9, 0.9))
+    idx.add(3, (0.8, 0.8))
+    assert idx.find_dominator((0.5, 0.5)) == 3
+
+
+def test_equal_point_is_not_dominator():
+    idx = DominanceIndex(2)
+    idx.add(1, (0.5, 0.5))
+    assert idx.find_dominator((0.5, 0.5)) is None
+    assert idx.find_dominator((0.5, 0.4)) == 1
+
+
+def test_growth_past_initial_capacity(rng):
+    idx = DominanceIndex(3, capacity=4)
+    members = {}
+    for oid in range(200):
+        p = tuple(rng.random() for _ in range(3))
+        idx.add(oid, p)
+        members[oid] = p
+    for _ in range(100):
+        corner = tuple(rng.random() for _ in range(3))
+        assert idx.find_dominator(corner) == scalar_find(members, corner)
+
+
+def test_random_adds_removes_match_scalar(rng):
+    idx = DominanceIndex(2)
+    members = {}
+    next_id = 0
+    for step in range(500):
+        if members and rng.random() < 0.4:
+            oid = rng.choice(list(members))
+            idx.remove(oid)
+            del members[oid]
+        else:
+            p = (rng.random(), rng.random())
+            idx.add(next_id, p)
+            members[next_id] = p
+            next_id += 1
+        if step % 25 == 0:
+            corner = (rng.random(), rng.random())
+            assert idx.find_dominator(corner) == scalar_find(members, corner)
+
+
+@given(points_strategy(3, min_size=1, max_size=25), points_strategy(3, 1, 5))
+@settings(max_examples=40, deadline=None)
+def test_property_matches_scalar(members_pts, corners):
+    idx = DominanceIndex(3)
+    members = {}
+    for oid, p in enumerate(members_pts):
+        idx.add(oid, p)
+        members[oid] = p
+    for corner in corners:
+        assert idx.find_dominator(corner) == scalar_find(members, corner)

@@ -1,0 +1,100 @@
+"""Exclusive-dominance-region decomposition vs direct membership."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.skyline.edr import (
+    dominance_region,
+    exclusive_dominance_region,
+    point_in_edr,
+    point_in_edr_exact,
+    subtract_box,
+)
+from repro.rtree.geometry import Rect
+
+from .conftest import points_strategy
+
+
+def test_dominance_region_shape():
+    r = dominance_region((0.4, 0.7))
+    assert r == Rect((0.0, 0.0), (0.4, 0.7))
+
+
+def test_subtract_disjoint_returns_box():
+    box = Rect((0.5, 0.5), (1.0, 1.0))
+    cut = Rect((0.0, 0.0), (0.4, 0.4))
+    assert subtract_box(box, cut) == [box]
+
+
+def test_subtract_fully_covered_is_empty():
+    box = Rect((0.1, 0.1), (0.3, 0.3))
+    cut = Rect((0.0, 0.0), (0.5, 0.5))
+    assert subtract_box(box, cut) == []
+
+
+def test_subtract_corner_overlap_areas_sum():
+    box = Rect((0.0, 0.0), (1.0, 1.0))
+    cut = Rect((0.0, 0.0), (0.5, 0.5))
+    pieces = subtract_box(box, cut)
+    assert sum(p.area() for p in pieces) == pytest.approx(0.75)
+    # Pieces are pairwise interior-disjoint.
+    for i in range(len(pieces)):
+        for j in range(i + 1, len(pieces)):
+            a, b = pieces[i], pieces[j]
+            if a.intersects(b):
+                inter_lo = tuple(max(x, y) for x, y in zip(a.lo, b.lo))
+                inter_hi = tuple(min(x, y) for x, y in zip(a.hi, b.hi))
+                assert Rect(inter_lo, inter_hi).area() == pytest.approx(0.0)
+
+
+def test_figure3_example_2d():
+    """Paper Figure 3(a): removing d, the EDR is the region dominated
+    by d but by neither a nor c."""
+    a, c, d = (0.2, 0.9), (0.8, 0.3), (0.6, 0.7)
+    boxes = exclusive_dominance_region(d, [a, c])
+    # The point just under d is exclusively dominated.
+    assert point_in_edr((0.59, 0.69), boxes)
+    # A point under both d and a is not exclusive.
+    assert not point_in_edr((0.1, 0.5), boxes)
+    # A point under both d and c is not exclusive.
+    assert not point_in_edr((0.5, 0.2), boxes)
+
+
+@pytest.mark.parametrize("dims", [2, 3, 4])
+def test_decomposition_matches_direct_membership(dims):
+    rng = random.Random(dims)
+    for _ in range(20):
+        p = tuple(0.3 + 0.7 * rng.random() for _ in range(dims))
+        others = [tuple(rng.random() for _ in range(dims)) for _ in range(4)]
+        boxes = exclusive_dominance_region(p, others)
+        for _ in range(50):
+            q = tuple(rng.random() for _ in range(dims))
+            # Interior sampling: skip boundary coincidences where the
+            # closed-box decomposition and the closed membership test
+            # legitimately differ on measure-zero sets.
+            if any(abs(qi - pi) < 1e-9 for qi, pi in zip(q, p)):
+                continue
+            if any(
+                abs(qi - si) < 1e-9 for s in others for qi, si in zip(q, s)
+            ):
+                continue
+            assert point_in_edr(q, boxes) == point_in_edr_exact(q, p, others)
+
+
+@given(points_strategy(3, min_size=2, max_size=6))
+@settings(max_examples=30, deadline=None)
+def test_edr_area_never_exceeds_dominance_region(pts):
+    p, *others = pts
+    boxes = exclusive_dominance_region(p, others)
+    dom_area = dominance_region(p).area()
+    assert sum(b.area() for b in boxes) <= dom_area + 1e-9
+
+
+def test_edr_of_dominated_point_is_empty():
+    # If another skyline point dominates p entirely... p's whole
+    # dominance region is covered.
+    p = (0.3, 0.3)
+    boxes = exclusive_dominance_region(p, [(0.5, 0.5)])
+    assert sum(b.area() for b in boxes) == pytest.approx(0.0)

@@ -1,0 +1,126 @@
+"""Unit and property tests for MBR algebra and dominance."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rtree.geometry import (
+    Rect,
+    dominates,
+    dominates_on_or_equal,
+    mbr_of_points,
+    mbr_of_rects,
+    sky_key_point,
+)
+
+from .conftest import points_strategy
+
+
+class TestDominance:
+    def test_strict_dominance(self):
+        assert dominates((0.5, 0.6), (0.4, 0.4))
+
+    def test_equal_points_do_not_dominate(self):
+        # Paper Section 2.2: coincident points never dominate.
+        assert not dominates((0.5, 0.5), (0.5, 0.5))
+
+    def test_partial_improvement_dominates(self):
+        assert dominates((0.5, 0.6), (0.5, 0.5))
+
+    def test_incomparable(self):
+        assert not dominates((0.9, 0.1), (0.1, 0.9))
+        assert not dominates((0.1, 0.9), (0.9, 0.1))
+
+    @given(points_strategy(3, min_size=2, max_size=2))
+    def test_antisymmetric(self, pts):
+        p, q = pts
+        assert not (dominates(p, q) and dominates(q, p))
+
+    @given(points_strategy(3, min_size=3, max_size=3))
+    def test_transitive(self, pts):
+        a, b, c = pts
+        if dominates(a, b) and dominates(b, c):
+            assert dominates(a, c)
+
+    @given(points_strategy(4, min_size=2, max_size=2))
+    def test_dominance_implies_sky_key_order(self, pts):
+        p, q = pts
+        if dominates(p, q):
+            assert sky_key_point(p) < sky_key_point(q)
+
+    def test_dominates_on_or_equal(self):
+        assert dominates_on_or_equal((0.5, 0.5), (0.5, 0.5))
+        assert dominates_on_or_equal((0.6, 0.5), (0.5, 0.5))
+        assert not dominates_on_or_equal((0.4, 0.9), (0.5, 0.5))
+
+
+class TestRect:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Rect((1.0, 0.0), (0.0, 1.0))
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Rect((0.0,), (1.0, 1.0))
+
+    def test_contains_point(self):
+        r = Rect((0.0, 0.0), (0.5, 0.5))
+        assert r.contains_point((0.25, 0.5))
+        assert not r.contains_point((0.6, 0.1))
+
+    def test_contains_rect(self):
+        outer = Rect((0.0, 0.0), (1.0, 1.0))
+        inner = Rect((0.2, 0.2), (0.8, 0.8))
+        assert outer.contains_rect(inner)
+        assert not inner.contains_rect(outer)
+
+    def test_intersects(self):
+        a = Rect((0.0, 0.0), (0.5, 0.5))
+        b = Rect((0.5, 0.5), (1.0, 1.0))  # touching counts
+        c = Rect((0.6, 0.6), (1.0, 1.0))
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+    def test_union_area_margin(self):
+        a = Rect((0.0, 0.0), (0.5, 1.0))
+        b = Rect((0.5, 0.0), (1.0, 0.5))
+        u = a.union(b)
+        assert u == Rect((0.0, 0.0), (1.0, 1.0))
+        assert u.area() == pytest.approx(1.0)
+        assert a.margin() == pytest.approx(1.5)
+
+    def test_enlargement(self):
+        a = Rect((0.0, 0.0), (0.5, 0.5))
+        assert a.enlargement(Rect((0.25, 0.25), (0.4, 0.4))) == pytest.approx(0.0)
+        assert a.enlargement(Rect((0.0, 0.0), (1.0, 0.5))) == pytest.approx(0.25)
+
+    def test_maxscore_is_best_corner(self):
+        r = Rect((0.1, 0.2), (0.5, 0.8))
+        assert r.maxscore((0.5, 0.5)) == pytest.approx(0.65)
+        assert r.minscore((0.5, 0.5)) == pytest.approx(0.15)
+
+    @given(points_strategy(3, min_size=1, max_size=20))
+    def test_mbr_of_points_contains_all(self, pts):
+        mbr = mbr_of_points(pts)
+        assert all(mbr.contains_point(p) for p in pts)
+
+    @given(points_strategy(2, min_size=2, max_size=10))
+    def test_mbr_of_rects_contains_all(self, pts):
+        rects = [Rect.from_point(p) for p in pts]
+        mbr = mbr_of_rects(rects)
+        assert all(mbr.contains_rect(r) for r in rects)
+
+    def test_mbr_of_nothing_rejected(self):
+        with pytest.raises(ValueError):
+            mbr_of_points([])
+        with pytest.raises(ValueError):
+            mbr_of_rects([])
+
+    @given(points_strategy(3, min_size=1, max_size=12), st.data())
+    def test_maxscore_bounds_member_scores(self, pts, data):
+        from repro.scoring import score
+
+        mbr = mbr_of_points(pts)
+        w = data.draw(st.tuples(*([st.floats(0, 1, allow_nan=False)] * 3)))
+        for p in pts:
+            assert score(w, p) <= mbr.maxscore(w) + 1e-12

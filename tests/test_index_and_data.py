@@ -1,0 +1,180 @@
+"""Object index plumbing and the data generators."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import build_object_index
+from repro.data.generators import (
+    anti_correlated_points,
+    clustered_weights,
+    correlated_points,
+    independent_points,
+    make_functions,
+    make_objects,
+    random_capacities,
+    random_priorities,
+    uniform_weights,
+)
+from repro.data.instances import FunctionSet, ObjectSet
+from repro.data.real import nba_like, zillow_like
+
+
+class TestObjectIndex:
+    def test_build_and_reset(self):
+        os_ = make_objects(500, 3, "independent", seed=1)
+        idx = build_object_index(os_, page_size=512, buffer_fraction=0.05)
+        assert idx.dims == 3
+        assert idx.stats.physical_reads == 0  # reset after build
+        assert idx.tree.size == 500
+        store = idx.tree.store
+        assert store.buffer.capacity == int(store.num_pages * 0.05)
+
+    def test_memory_backend(self):
+        os_ = make_objects(100, 2, "independent", seed=2)
+        idx = build_object_index(os_, memory=True)
+        assert idx.is_memory
+        assert sorted(idx.tree.iter_items()) == sorted(os_.items())
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_object_index(ObjectSet([]))
+
+    def test_reset_for_run_clears_buffer(self):
+        os_ = make_objects(400, 2, "independent", seed=3)
+        idx = build_object_index(os_, page_size=512, buffer_fraction=1.0)
+        list(idx.tree.iter_items())  # warm the buffer
+        idx.reset_for_run()
+        assert idx.stats.physical_reads == 0
+        list(idx.tree.iter_items())
+        # Cold buffer: first pass is all physical reads.
+        assert idx.stats.physical_reads == idx.tree.store.num_pages
+
+
+class TestGenerators:
+    def test_shapes_and_range(self):
+        for gen in (independent_points, correlated_points, anti_correlated_points):
+            pts = gen(500, 4, seed=1)
+            assert pts.shape == (500, 4)
+            assert (pts >= 0).all() and (pts <= 1).all()
+
+    def test_determinism(self):
+        a = anti_correlated_points(100, 3, seed=42)
+        b = anti_correlated_points(100, 3, seed=42)
+        assert (a == b).all()
+
+    def test_correlation_signs(self):
+        ind = independent_points(4000, 2, seed=5)
+        cor = correlated_points(4000, 2, seed=5)
+        anti = anti_correlated_points(4000, 2, seed=5)
+        r_ind = np.corrcoef(ind[:, 0], ind[:, 1])[0, 1]
+        r_cor = np.corrcoef(cor[:, 0], cor[:, 1])[0, 1]
+        r_anti = np.corrcoef(anti[:, 0], anti[:, 1])[0, 1]
+        assert abs(r_ind) < 0.1
+        assert r_cor > 0.5
+        assert r_anti < -0.5
+
+    def test_anti_correlated_skyline_is_largest(self):
+        """The benchmark folklore the paper relies on: anti-correlated
+        data has a much larger skyline than correlated data."""
+        from repro.skyline import naive_skyline
+
+        sizes = {}
+        for name in ("correlated", "anti-correlated"):
+            os_ = make_objects(800, 3, name, seed=6)
+            sizes[name] = len(naive_skyline(os_.items()))
+        assert sizes["anti-correlated"] > 3 * sizes["correlated"]
+
+    def test_weights_normalized(self):
+        w = uniform_weights(200, 5, seed=7)
+        assert np.allclose(w.sum(axis=1), 1.0)
+        cw = clustered_weights(200, 5, 3, seed=8)
+        assert np.allclose(cw.sum(axis=1), 1.0)
+        assert (cw >= 0).all()
+
+    def test_clustered_weights_cluster(self):
+        """With one cluster the weight variance shrinks vs uniform."""
+        uni = uniform_weights(500, 4, seed=9)
+        clu = clustered_weights(500, 4, 1, seed=9)
+        assert clu.var(axis=0).mean() < uni.var(axis=0).mean()
+
+    def test_make_objects_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            make_objects(10, 2, "weird")
+
+    def test_make_functions_with_everything(self):
+        fs = make_functions(
+            20, 3, seed=10, n_clusters=2,
+            gammas=random_priorities(20, 4, seed=1),
+            capacities=random_capacities(20, 3, seed=2, fixed=False),
+        )
+        assert len(fs) == 20
+        assert fs.max_gamma <= 4
+        assert all(1 <= fs.capacity(i) <= 3 for i in range(20))
+
+    def test_random_capacities_fixed(self):
+        assert random_capacities(5, 4) == [4] * 5
+
+    def test_priority_bounds(self):
+        gs = random_priorities(100, 8, seed=3)
+        assert all(1 <= g <= 8 for g in gs)
+        with pytest.raises(ValueError):
+            random_priorities(5, 0)
+
+
+class TestRealDataSubstitutes:
+    def test_zillow_like_profile(self):
+        os_ = zillow_like(3000, seed=1)
+        assert os_.dims == 5
+        pts = np.array(os_.points)
+        assert (pts >= 0).all() and (pts <= 1).all()
+        # Size attributes correlate positively...
+        assert np.corrcoef(pts[:, 0], pts[:, 2])[0, 1] > 0.3
+        # ...and price-value (negated price) anti-correlates with size.
+        assert np.corrcoef(pts[:, 2], pts[:, 3])[0, 1] < -0.3
+
+    def test_nba_like_profile(self):
+        os_ = nba_like(2000, seed=2)
+        assert os_.dims == 5
+        pts = np.array(os_.points)
+        # Stats positively correlated through latent skill, and skewed
+        # (mean well below the max of the normalized range).
+        assert np.corrcoef(pts[:, 0], pts[:, 1])[0, 1] > 0.3
+        assert pts.mean() < 0.35
+
+
+class TestInstanceValidation:
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            FunctionSet([(0.5, 0.6)])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionSet([(-0.2, 1.2)])
+
+    def test_dim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectSet([(0.5, 0.5), (0.5,)])
+        with pytest.raises(ValueError):
+            FunctionSet([(1.0,), (0.5, 0.5)])
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            ObjectSet([(0.5,)], capacities=[0])
+        with pytest.raises(ValueError):
+            FunctionSet([(1.0,)], capacities=[1, 2])
+
+    def test_gamma_validation(self):
+        with pytest.raises(ValueError):
+            FunctionSet([(1.0,)], gammas=[0.0])
+
+    def test_effective_weights(self):
+        fs = FunctionSet([(0.25, 0.75)], gammas=[2.0])
+        assert fs.effective_weights(0) == (0.5, 1.5)
+        assert fs.gamma(0) == 2.0
+        assert fs.max_gamma == 2.0
+
+    def test_totals(self):
+        fs = FunctionSet([(1.0,), (1.0,)], capacities=[2, 3])
+        assert fs.total_capacity == 5
+        os_ = ObjectSet([(0.1,)])
+        assert os_.total_capacity == 1

@@ -1,0 +1,63 @@
+"""InMemorySkylineManager (the Fsky substrate of Section 6.2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.skyline.inmemory import InMemorySkylineManager
+from repro.skyline.reference import naive_skyline
+
+from .conftest import points_strategy, random_points
+
+
+def test_initial_skyline_matches_naive(rng):
+    items = list(enumerate(random_points(200, 3, rng)))
+    mgr = InMemorySkylineManager(items)
+    assert mgr.skyline == naive_skyline(items)
+
+
+def test_drain_matches_recompute(rng):
+    items = list(enumerate(random_points(120, 3, rng, tie_heavy=True)))
+    mgr = InMemorySkylineManager(items)
+    alive = dict(items)
+    while mgr.skyline:
+        assert mgr.skyline == naive_skyline(list(alive.items()))
+        victims = sorted(mgr.skyline)[:2]
+        mgr.remove(victims)
+        for v in victims:
+            del alive[v]
+    assert not alive or naive_skyline(list(alive.items())) == {}
+
+
+def test_remove_non_member_rejected(rng):
+    mgr = InMemorySkylineManager([(0, (1.0, 1.0)), (1, (0.1, 0.1))])
+    with pytest.raises(KeyError):
+        mgr.remove([1])  # dominated, not a skyline member
+
+
+def test_memory_entries_counts_parked_items():
+    mgr = InMemorySkylineManager(
+        [(0, (1.0, 1.0)), (1, (0.5, 0.5)), (2, (0.2, 0.2))]
+    )
+    assert len(mgr) == 1
+    assert mgr.memory_entries() == 2
+
+
+def test_empty():
+    mgr = InMemorySkylineManager([])
+    assert mgr.skyline == {}
+    assert mgr.remove([]) == {}
+
+
+@given(points_strategy(2, min_size=1, max_size=30), st.integers(1, 3))
+@settings(max_examples=40, deadline=None)
+def test_property_drain(pts, batch):
+    items = list(enumerate(pts))
+    mgr = InMemorySkylineManager(items)
+    alive = dict(items)
+    while mgr.skyline:
+        assert mgr.skyline == naive_skyline(list(alive.items()))
+        victims = sorted(mgr.skyline)[:batch]
+        mgr.remove(victims)
+        for v in victims:
+            del alive[v]

@@ -1,0 +1,100 @@
+"""Fractional-knapsack tight threshold (Section 5.1 / Figure 5)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scoring import score
+from repro.topk.knapsack import naive_threshold, tight_threshold
+
+
+class TestPaperExample:
+    """The worked example of the paper's Figure 5: o = (10, 6, 8)."""
+
+    def test_after_three_accesses(self):
+        # l = (0.8, 0.8, 0.9): fill dim1 with 0.8, dim3 with 0.2.
+        assert tight_threshold([0.8, 0.8, 0.9], (10, 6, 8)) == pytest.approx(9.6)
+
+    def test_after_fc_access(self):
+        # l1 drops to 0.5: Ttight = 0.5*10 + 0*6 + 0.5*8 = 9.
+        assert tight_threshold([0.5, 0.8, 0.9], (10, 6, 8)) == pytest.approx(9.0)
+
+    def test_naive_threshold_is_looser(self):
+        bounds = [0.8, 0.8, 0.9]
+        o = (10, 6, 8)
+        assert naive_threshold(bounds, o) > tight_threshold(bounds, o)
+
+
+def test_zero_bounds_give_zero():
+    assert tight_threshold([0.0, 0.0], (1.0, 1.0)) == 0.0
+
+
+def test_budget_scales_threshold():
+    # Priorities: B = max gamma (Section 6.2).
+    t1 = tight_threshold([1.0, 1.0], (0.5, 0.25), budget=1.0)
+    t3 = tight_threshold([3.0, 3.0], (0.5, 0.25), budget=3.0)
+    assert t3 == pytest.approx(3 * t1)
+
+
+def test_budget_larger_than_bounds_sum():
+    # Bounds cap the fill even when the budget is large.
+    assert tight_threshold([0.2, 0.1], (1.0, 1.0), budget=5.0) == pytest.approx(0.3)
+
+
+def test_dimension_ranking_matters():
+    # Mass goes to the object's best dimensions first.
+    assert tight_threshold([0.5, 0.9], (1.0, 0.1), budget=1.0) == pytest.approx(
+        0.5 * 1.0 + 0.5 * 0.1
+    )
+
+
+@given(
+    st.lists(st.floats(0, 1, allow_nan=False), min_size=2, max_size=5),
+    st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_upper_bound_property(bounds, data):
+    """Ttight bounds the score of every normalized function whose
+    coefficients respect the per-list bounds."""
+    dims = len(bounds)
+    point = tuple(
+        data.draw(st.floats(0, 1, allow_nan=False)) for _ in range(dims)
+    )
+    # Build a random feasible function: alpha_i <= bounds[i], sum == 1
+    # (only possible if sum(bounds) >= 1).
+    if sum(bounds) < 1.0:
+        return
+    rng = random.Random(data.draw(st.integers(0, 10**6)))
+    alpha = [0.0] * dims
+    mass = 1.0
+    order = list(range(dims))
+    rng.shuffle(order)
+    for i in order:
+        alpha[i] = min(mass, bounds[i] * rng.random())
+        mass -= alpha[i]
+    if mass > 1e-12:
+        # Distribute leftovers within the bounds if possible.
+        for i in order:
+            room = bounds[i] - alpha[i]
+            take = min(room, mass)
+            alpha[i] += take
+            mass -= take
+    if mass > 1e-9:
+        return  # couldn't build a feasible function; nothing to check
+    t = tight_threshold(bounds, point)
+    assert score(alpha, point) <= t + 1e-9
+
+
+def test_tightness_attained():
+    """The bound is tight: the greedy beta itself is a feasible
+    function when bounds allow, so some function attains Ttight."""
+    bounds = [0.6, 0.5, 0.4]
+    point = (0.9, 0.5, 0.1)
+    t = tight_threshold(bounds, point)
+    # The greedy beta: 0.6 to dim0, 0.4 to dim1, 0 to dim2.
+    beta = (0.6, 0.4, 0.0)
+    assert sum(beta) == pytest.approx(1.0)
+    assert all(b <= lb for b, lb in zip(beta, bounds))
+    assert score(beta, point) == pytest.approx(t)

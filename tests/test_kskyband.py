@@ -1,0 +1,79 @@
+"""k-skyband (Section 2.3 substrate)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtree.store import DiskNodeStore
+from repro.rtree.tree import RTree
+from repro.skyline.kskyband import (
+    bbs_kskyband,
+    naive_kskyband,
+    topk_within_kskyband,
+)
+from repro.skyline.reference import naive_skyline
+
+from .conftest import points_strategy, random_points, random_weights
+
+
+def build_tree(items, dims):
+    store = DiskNodeStore(dims, page_size=256, buffer_capacity=10**6)
+    return RTree.bulk_load(store, dims, items)
+
+
+def test_one_skyband_is_skyline(rng):
+    items = list(enumerate(random_points(150, 3, rng)))
+    assert naive_kskyband(items, 1) == naive_skyline(items)
+
+
+def test_band_is_monotone_in_k(rng):
+    items = list(enumerate(random_points(150, 3, rng)))
+    previous: set = set()
+    for k in (1, 2, 4, 8):
+        band = set(naive_kskyband(items, k))
+        assert previous <= band
+        previous = band
+    assert set(naive_kskyband(items, len(items))) == {o for o, _ in items}
+
+
+@pytest.mark.parametrize("k", [1, 2, 3, 5])
+def test_bbs_kskyband_matches_naive(k, rng):
+    items = list(enumerate(random_points(400, 3, rng)))
+    tree = build_tree(items, 3)
+    assert bbs_kskyband(tree, k) == naive_kskyband(items, k)
+
+
+def test_bbs_kskyband_tie_heavy(rng):
+    items = list(enumerate(random_points(120, 2, rng, tie_heavy=True)))
+    tree = build_tree(items, 2)
+    for k in (1, 2, 4):
+        assert bbs_kskyband(tree, k) == naive_kskyband(items, k)
+
+
+def test_invalid_k():
+    with pytest.raises(ValueError):
+        naive_kskyband([(0, (0.5,))], 0)
+    with pytest.raises(ValueError):
+        bbs_kskyband(build_tree([(0, (0.5, 0.5))], 2), 0)
+
+
+def test_empty_tree():
+    assert bbs_kskyband(build_tree([], 2), 3) == {}
+
+
+@pytest.mark.parametrize("k", [1, 3, 7])
+def test_topk_containment_property(k, rng):
+    """Section 2.3: for any monotone function the top-k is inside the
+    k-skyband."""
+    items = list(enumerate(random_points(80, 3, rng)))
+    for _ in range(5):
+        w = tuple(random_weights(1, 3, rng)[0])
+        assert topk_within_kskyband(items, w, k)
+
+
+@given(points_strategy(2, min_size=1, max_size=30), st.integers(1, 4))
+@settings(max_examples=30, deadline=None)
+def test_property_bbs_matches_naive(pts, k):
+    items = list(enumerate(pts))
+    tree = build_tree(items, 2)
+    assert bbs_kskyband(tree, k) == naive_kskyband(items, k)

@@ -1,0 +1,141 @@
+"""Skyline maintenance: UpdateSkyline (Theorem 1) and DeltaSky."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtree.store import DiskNodeStore
+from repro.rtree.tree import RTree
+from repro.skyline import DeltaSkyManager, UpdateSkylineManager, naive_skyline
+
+from .conftest import points_strategy, random_points
+
+
+def build_tree(items, dims, page_size=256, buffer_capacity=10**6):
+    store = DiskNodeStore(dims, page_size=page_size, buffer_capacity=buffer_capacity)
+    tree = RTree.bulk_load(store, dims, items)
+    store.stats.reset()
+    return tree, store
+
+
+def drain(manager_cls, items, dims, batch, rng=None, tree=None):
+    """Remove skyline members in batches until the set is exhausted,
+    checking against a from-scratch recomputation at every step."""
+    if tree is None:
+        tree, _ = build_tree(items, dims)
+    mgr = manager_cls(tree)
+    mgr.compute_initial()
+    alive = dict(items)
+    while mgr.skyline:
+        assert mgr.skyline == naive_skyline(list(alive.items()))
+        victims = sorted(mgr.skyline)[:batch]
+        mgr.remove(victims)
+        for oid in victims:
+            del alive[oid]
+    assert alive == {} or naive_skyline(list(alive.items())) == {}
+    return mgr
+
+
+@pytest.mark.parametrize("manager_cls", [UpdateSkylineManager, DeltaSkyManager])
+@pytest.mark.parametrize("dims,batch", [(2, 1), (3, 1), (3, 3), (4, 2)])
+def test_maintenance_matches_recompute(manager_cls, dims, batch, rng):
+    items = list(enumerate(random_points(250, dims, rng)))
+    drain(manager_cls, items, dims, batch)
+
+
+@pytest.mark.parametrize("manager_cls", [UpdateSkylineManager, DeltaSkyManager])
+def test_maintenance_tie_heavy(manager_cls, rng):
+    items = list(enumerate(random_points(150, 3, rng, tie_heavy=True)))
+    drain(manager_cls, items, 3, 2)
+
+
+@given(points_strategy(2, min_size=1, max_size=35), st.integers(1, 3))
+@settings(max_examples=30, deadline=None)
+def test_property_update_skyline_2d(pts, batch):
+    items = list(enumerate(pts))
+    drain(UpdateSkylineManager, items, 2, batch)
+
+
+@given(points_strategy(3, min_size=1, max_size=25), st.integers(1, 2))
+@settings(max_examples=20, deadline=None)
+def test_property_deltasky_3d(pts, batch):
+    items = list(enumerate(pts))
+    drain(DeltaSkyManager, items, 3, batch)
+
+
+def test_remove_non_member_rejected(rng):
+    items = list(enumerate(random_points(50, 2, rng)))
+    tree, _ = build_tree(items, 2)
+    mgr = UpdateSkylineManager(tree)
+    mgr.compute_initial()
+    missing = max(oid for oid, _ in items) + 1
+    with pytest.raises(KeyError):
+        mgr.remove([missing])
+
+
+def test_initial_required_before_remove(rng):
+    items = list(enumerate(random_points(10, 2, rng)))
+    tree, _ = build_tree(items, 2)
+    with pytest.raises(RuntimeError):
+        UpdateSkylineManager(tree).remove([0])
+    with pytest.raises(RuntimeError):
+        DeltaSkyManager(tree).remove([0])
+
+
+class TestTheorem1:
+    """UpdateSkyline is I/O optimal: no R-tree page is read twice over
+    an entire drain, even with a zero buffer."""
+
+    def test_read_once_over_full_drain(self, rng):
+        dims = 3
+        items = list(enumerate(random_points(1500, dims, rng)))
+        tree, store = build_tree(items, dims, buffer_capacity=0)
+        store.stats.reset()
+
+        mgr = UpdateSkylineManager(tree)
+        mgr.compute_initial()
+        while mgr.skyline:
+            mgr.remove(sorted(mgr.skyline)[:2])
+
+        # With no buffer, logical == physical; read-once means the
+        # total cannot exceed the number of pages in the tree, and a
+        # full drain reads every page exactly once.
+        assert store.stats.physical_reads == store.stats.logical_reads
+        assert store.stats.physical_reads == store.num_pages
+
+    def test_deltasky_rereads_updateskyline_does_not(self, rng):
+        """Figure 8's shape: DeltaSky's repeated traversals cost far
+        more page reads than UpdateSkyline on the same drain."""
+        dims = 3
+        items = list(enumerate(random_points(1200, dims, rng)))
+
+        reads = {}
+        for name, cls in [
+            ("update", UpdateSkylineManager), ("delta", DeltaSkyManager)
+        ]:
+            tree, store = build_tree(items, dims, buffer_capacity=0)
+            store.stats.reset()
+            mgr = cls(tree)
+            mgr.compute_initial()
+            while mgr.skyline:
+                mgr.remove(sorted(mgr.skyline)[:1])
+            reads[name] = store.stats.physical_reads
+
+        assert reads["update"] < reads["delta"]
+
+    def test_buffer_size_does_not_change_updateskyline_io(self, rng):
+        """Because UpdateSkyline never re-reads, its physical I/O is
+        identical with a 0% and a 100% buffer (Figure 13's flat SB)."""
+        dims = 3
+        items = list(enumerate(random_points(800, dims, rng)))
+        counts = []
+        for capacity in (0, 10**6):
+            tree, store = build_tree(items, dims, buffer_capacity=capacity)
+            store.buffer.clear()
+            store.stats.reset()
+            mgr = UpdateSkylineManager(tree)
+            mgr.compute_initial()
+            while mgr.skyline:
+                mgr.remove(sorted(mgr.skyline)[:3])
+            counts.append(store.stats.physical_reads)
+        assert counts[0] == counts[1]

@@ -1,0 +1,124 @@
+"""The canonical-order lemmas everything else relies on.
+
+DESIGN.md §2: the coordinate-lex component of the canonical orders
+guarantees (a) the canonical best object for any monotone linear
+function is a skyline member, and (b) the canonical best function for
+any object is a member of the (effective-weight) function skyline.
+These two lemmas are what make SB and the two-skyline variant exact
+even under ties; they are tested here directly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ordering import function_key, neg, object_key, pair_key
+from repro.scoring import score
+from repro.skyline.reference import naive_skyline
+
+from .conftest import points_strategy, random_points, random_weights, weights_strategy
+
+
+def test_neg():
+    assert neg((1.0, -2.0)) == (-1.0, 2.0)
+
+
+def test_object_key_orders_score_first():
+    assert object_key(0.9, (0.1, 0.1), 5) < object_key(0.5, (1.0, 1.0), 0)
+
+
+def test_object_key_tie_prefers_lex_greater_coords():
+    # Equal scores: the dominator (lex-greater) must win.
+    k_dom = object_key(0.5, (0.5, 0.3), 7)
+    k_sub = object_key(0.5, (0.5, 0.2), 1)
+    assert k_dom < k_sub
+
+
+def test_object_key_final_tie_prefers_smaller_id():
+    assert object_key(0.5, (0.5, 0.5), 1) < object_key(0.5, (0.5, 0.5), 2)
+
+
+def test_function_key_mirrors_object_key():
+    assert function_key(0.9, (0.5, 0.5), 3) < function_key(0.8, (0.9, 0.1), 0)
+    assert function_key(0.5, (0.6, 0.4), 9) < function_key(0.5, (0.5, 0.5), 0)
+
+
+def test_pair_key_consistent_with_side_orders():
+    # Same function: pair order follows the object order.
+    w = (0.5, 0.5)
+    p_good, p_bad = (0.9, 0.9), (0.1, 0.1)
+    assert pair_key(score(w, p_good), w, 1, p_good, 0) < pair_key(
+        score(w, p_bad), w, 1, p_bad, 1
+    )
+
+
+@given(points_strategy(3, min_size=1, max_size=30), weights_strategy(3, 1, 1))
+@settings(max_examples=60, deadline=None)
+def test_lemma_canonical_best_object_is_on_skyline(pts, ws):
+    """For ANY normalized weights (ties included), the canonical argmax
+    object is a skyline member."""
+    w = ws[0]
+    items = list(enumerate(pts))
+    best_oid = min(
+        (object_key(score(w, p), p, oid), oid) for oid, p in items
+    )[1]
+    assert best_oid in naive_skyline(items)
+
+
+@given(weights_strategy(3, min_size=1, max_size=20), points_strategy(3, 1, 1))
+@settings(max_examples=60, deadline=None)
+def test_lemma_canonical_best_function_is_on_function_skyline(ws, pts):
+    """Dual lemma for the two-skyline variant (Section 6.2)."""
+    o = pts[0]
+    items = list(enumerate(ws))
+    best_fid = min(
+        (function_key(score(w, o), w, fid), fid) for fid, w in items
+    )[1]
+    assert best_fid in naive_skyline(items)
+
+
+def test_lemma_with_priorities(rng):
+    """Effective (γ-scaled) weights keep the dual lemma valid."""
+    for _ in range(30):
+        ws = random_weights(15, 3, rng, tie_heavy=True)
+        gammas = [float(rng.randint(1, 4)) for _ in range(15)]
+        eff = [tuple(g * x for x in w) for w, g in zip(ws, gammas)]
+        o = tuple(rng.random() for _ in range(3))
+        items = list(enumerate(eff))
+        best_fid = min(
+            (function_key(score(w, o), w, fid), fid) for fid, w in items
+        )[1]
+        assert best_fid in naive_skyline(items)
+
+
+def test_mutual_best_is_greedy_member(rng):
+    """Property-2 sanity: a mutually canonical-best pair always appears
+    in the canonical greedy matching."""
+    from repro.core.reference import greedy_assign
+    from repro.data.instances import FunctionSet, ObjectSet
+
+    for trial in range(20):
+        ws = random_weights(8, 2, rng, tie_heavy=True)
+        pts = random_points(12, 2, rng, tie_heavy=True)
+        fs, os_ = FunctionSet(ws), ObjectSet(pts)
+
+        # Compute the mutually-best pair over the full sets.
+        fbest = {}
+        for oid, p in enumerate(pts):
+            fbest[oid] = min(
+                (function_key(score(w, p), w, fid), fid)
+                for fid, w in enumerate(ws)
+            )[1]
+        obest = {}
+        for fid, w in enumerate(ws):
+            obest[fid] = min(
+                (object_key(score(w, p), p, oid), oid)
+                for oid, p in enumerate(pts)
+            )[1]
+        mutual = [
+            (fid, obest[fid]) for fid in range(len(ws))
+            if fbest[obest[fid]] == fid
+        ]
+        assert mutual, "at least one mutually-best pair must exist"
+        matching = greedy_assign(fs, os_).matching.as_dict()
+        for pair in mutual:
+            assert pair in matching

@@ -1,0 +1,79 @@
+"""The public API surface: exports, result unpacking, docstrings."""
+
+import importlib
+
+import pytest
+
+import repro
+from repro.core import SOLVERS
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_exports():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_readme_quickstart_runs():
+    objects = repro.ObjectSet(
+        [(0.5, 0.6), (0.2, 0.7), (0.8, 0.2), (0.4, 0.4)]
+    )
+    functions = repro.FunctionSet([(0.8, 0.2), (0.2, 0.8), (0.5, 0.5)])
+    index = repro.build_object_index(objects)
+    matching, stats = repro.solve(functions, index, method="sb")
+    assert {(p.fid, p.oid) for p in matching.pairs} == {(0, 2), (1, 1), (2, 0)}
+    assert stats.io_accesses >= 0
+
+
+def test_result_unpacking_and_fields():
+    objects = repro.ObjectSet([(0.5, 0.5)])
+    functions = repro.FunctionSet([(1.0, 0.0)])
+    index = repro.build_object_index(objects)
+    result = repro.solve(functions, index)
+    matching, stats = result  # tuple-style unpacking
+    assert result.matching is matching and result.stats is stats
+    pair = matching.pairs[0]
+    assert (pair.fid, pair.oid, pair.count) == (0, 0, 1)
+
+
+def test_every_solver_name_is_callable():
+    objects = repro.ObjectSet([(0.3, 0.7), (0.6, 0.4)])
+    functions = repro.FunctionSet([(0.5, 0.5)])
+    for name in SOLVERS:
+        index = repro.build_object_index(
+            objects, memory=(name == "sb-alt")
+        )
+        matching, _ = repro.solve(functions, index, method=name)
+        assert matching.num_units == 1, name
+
+
+@pytest.mark.parametrize(
+    "module",
+    [
+        "repro.core", "repro.core.sb", "repro.core.brute_force",
+        "repro.core.chain", "repro.core.priority", "repro.core.sb_alt",
+        "repro.core.reference", "repro.core.validate", "repro.core.index",
+        "repro.core.capacity", "repro.core.types", "repro.core.vectorized",
+        "repro.storage", "repro.storage.buffer", "repro.storage.pagefile",
+        "repro.storage.stats",
+        "repro.rtree", "repro.rtree.tree", "repro.rtree.bulk",
+        "repro.rtree.geometry", "repro.rtree.encoding", "repro.rtree.store",
+        "repro.skyline", "repro.skyline.bbs", "repro.skyline.maintenance",
+        "repro.skyline.deltasky", "repro.skyline.bnl", "repro.skyline.dc",
+        "repro.skyline.sfs", "repro.skyline.edr", "repro.skyline.inmemory",
+        "repro.skyline.dominance", "repro.skyline.reference",
+        "repro.topk", "repro.topk.ta", "repro.topk.brs", "repro.topk.onion",
+        "repro.topk.reverse", "repro.topk.sorted_lists", "repro.topk.knapsack",
+        "repro.data", "repro.data.generators", "repro.data.instances",
+        "repro.data.real",
+        "repro.bench", "repro.bench.config", "repro.bench.harness",
+        "repro.bench.reporting",
+        "repro.ordering", "repro.scoring",
+    ],
+)
+def test_module_has_docstring(module):
+    mod = importlib.import_module(module)
+    assert mod.__doc__ and len(mod.__doc__.strip()) > 20, module

@@ -1,0 +1,87 @@
+"""Reference solvers: greedy oracle and Gale–Shapley internals."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.reference import gale_shapley_assign, greedy_assign
+from repro.core.validate import assert_stable
+from repro.data.instances import FunctionSet, ObjectSet
+
+from .conftest import random_instance
+
+
+def test_greedy_emits_in_descending_score_order():
+    fs, os_ = random_instance(8, 15, 3, seed=1)
+    matching = greedy_assign(fs, os_).matching
+    scores = [p.score for p in matching.pairs]
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_greedy_first_pair_is_global_max():
+    from repro.scoring import score
+
+    fs, os_ = random_instance(6, 12, 3, seed=2)
+    matching = greedy_assign(fs, os_).matching
+    best = max(
+        score(fs.effective_weights(f), p)
+        for f in range(len(fs))
+        for p in os_.points
+    )
+    assert matching.pairs[0].score == best
+
+
+def test_greedy_pair_count():
+    fs, os_ = random_instance(7, 4, 2, seed=3)
+    assert greedy_assign(fs, os_).matching.num_units == 4
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_gale_shapley_equals_greedy(seed):
+    fs, os_ = random_instance(
+        9, 14, 3, seed=seed,
+        capacities=(seed % 2 == 0),
+        priorities=(seed % 3 == 0),
+        tie_heavy=(seed % 2 == 1),
+    )
+    a = greedy_assign(fs, os_).matching
+    b = gale_shapley_assign(fs, os_).matching
+    assert a.as_dict() == b.as_dict()
+    assert_stable(a, fs, os_)
+
+
+def test_empty_sides():
+    assert greedy_assign(FunctionSet([]), ObjectSet([(0.5,)])).matching.num_units == 0
+    assert (
+        gale_shapley_assign(FunctionSet([]), ObjectSet([(0.5,)])).matching.num_units
+        == 0
+    )
+    assert greedy_assign(FunctionSet([(1.0,)]), ObjectSet([])).matching.num_units == 0
+
+
+def test_matching_accessors():
+    fs, os_ = random_instance(4, 6, 2, seed=4, capacities=True)
+    matching = greedy_assign(fs, os_).matching
+    for fid in range(len(fs)):
+        units = sum(c for _, c in matching.object_of(fid))
+        assert units <= fs.capacity(fid)
+    for oid in range(len(os_)):
+        units = sum(c for _, c in matching.function_of(oid))
+        assert units <= os_.capacity(oid)
+    assert matching.total_score() == pytest.approx(
+        sum(p.score * p.count for p in matching.pairs)
+    )
+
+
+@given(
+    st.integers(1, 8), st.integers(1, 12), st.integers(2, 3),
+    st.integers(0, 10**6),
+)
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_property_gs_greedy_agree(nf, no, dims, seed):
+    fs, os_ = random_instance(nf, no, dims, seed=seed, tie_heavy=True)
+    assert (
+        greedy_assign(fs, os_).matching.as_dict()
+        == gale_shapley_assign(fs, os_).matching.as_dict()
+    )

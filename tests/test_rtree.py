@@ -1,0 +1,217 @@
+"""R-tree tests: encoding round-trips, bulk load, insert/delete, search."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+
+from repro.rtree.encoding import NodeCodec, internal_capacity, leaf_capacity
+from repro.rtree.geometry import Rect
+from repro.rtree.node import Node
+from repro.rtree.store import DiskNodeStore, MemoryNodeStore
+from repro.rtree.tree import RTree
+
+from .conftest import points_strategy
+
+
+class TestEncoding:
+    def test_paper_fanouts_at_4k(self):
+        # 4 KB pages at D=4: ~102 points per leaf, ~56 children per node.
+        assert leaf_capacity(4096, 4) == 102
+        assert internal_capacity(4096, 4) == 56
+
+    def test_capacity_grows_with_page_and_shrinks_with_dims(self):
+        assert leaf_capacity(8192, 4) > leaf_capacity(4096, 4)
+        assert leaf_capacity(4096, 6) < leaf_capacity(4096, 4)
+
+    def test_too_small_page_rejected(self):
+        with pytest.raises(ValueError):
+            leaf_capacity(16, 4)
+
+    def test_leaf_roundtrip(self):
+        codec = NodeCodec(3, 4096)
+        node = Node(7, True, [(1, (0.1, 0.2, 0.3)), (2, (0.4, 0.5, 0.6))])
+        back = codec.decode(7, codec.encode(node))
+        assert back.is_leaf
+        assert back.entries == node.entries
+
+    def test_internal_roundtrip(self):
+        codec = NodeCodec(2, 4096)
+        node = Node(
+            3,
+            False,
+            [(10, Rect((0.0, 0.0), (0.5, 0.5))), (11, Rect((0.5, 0.0), (1.0, 1.0)))],
+        )
+        back = codec.decode(3, codec.encode(node))
+        assert not back.is_leaf
+        assert back.entries == node.entries
+
+    def test_overflowing_node_rejected(self):
+        codec = NodeCodec(2, 128)
+        node = Node(0, True, [(i, (0.0, 0.0)) for i in range(100)])
+        with pytest.raises(ValueError):
+            codec.encode(node)
+
+    @given(points_strategy(4, min_size=1, max_size=50))
+    @settings(max_examples=25)
+    def test_roundtrip_property(self, pts):
+        codec = NodeCodec(4, 4096)
+        entries = list(enumerate(pts))[: codec.leaf_capacity]
+        node = Node(0, True, entries)
+        assert codec.decode(0, codec.encode(node)).entries == entries
+
+
+def brute_range(items, rect):
+    return sorted((i, p) for i, p in items if rect.contains_point(p))
+
+
+class TestBulkLoad:
+    @pytest.mark.parametrize("n", [0, 1, 5, 250, 3000])
+    def test_invariants_and_contents(self, n, rng):
+        D = 3
+        items = [(i, tuple(rng.random() for _ in range(D))) for i in range(n)]
+        store = DiskNodeStore(D, page_size=512, buffer_capacity=10**6)
+        tree = RTree.bulk_load(store, D, items)
+        tree.check_invariants()
+        assert sorted(tree.iter_items()) == sorted(items)
+
+    def test_range_search_matches_brute_force(self, rng):
+        D = 2
+        items = [(i, (rng.random(), rng.random())) for i in range(800)]
+        store = DiskNodeStore(D, page_size=256, buffer_capacity=10**6)
+        tree = RTree.bulk_load(store, D, items)
+        for _ in range(10):
+            lo = (rng.random() * 0.6, rng.random() * 0.6)
+            hi = (lo[0] + 0.3, lo[1] + 0.3)
+            rect = Rect(lo, hi)
+            assert sorted(tree.range_search(rect)) == brute_range(items, rect)
+
+    def test_height_grows(self, rng):
+        D = 2
+        small = RTree.bulk_load(
+            MemoryNodeStore(D, 256), D, [(i, (rng.random(),) * 2) for i in range(5)]
+        )
+        big = RTree.bulk_load(
+            MemoryNodeStore(D, 256), D,
+            [(i, (rng.random(), rng.random())) for i in range(2000)],
+        )
+        assert small.height == 1
+        assert big.height >= 3
+
+
+class TestInsertDelete:
+    def test_incremental_build_invariants(self, rng):
+        D = 2
+        tree = RTree(MemoryNodeStore(D, 256), D)
+        items = [(i, (rng.random(), rng.random())) for i in range(600)]
+        for i, p in items:
+            tree.insert(i, p)
+        tree.check_invariants()
+        assert sorted(tree.iter_items()) == sorted(items)
+
+    def test_delete_missing_returns_false(self, rng):
+        D = 2
+        tree = RTree(MemoryNodeStore(D, 256), D)
+        tree.insert(1, (0.5, 0.5))
+        assert not tree.delete(2, (0.5, 0.5))
+        assert not tree.delete(1, (0.4, 0.4))
+        assert tree.delete(1, (0.5, 0.5))
+        assert tree.size == 0
+
+    def test_delete_to_empty_and_reuse(self, rng):
+        D = 2
+        tree = RTree(MemoryNodeStore(D, 256), D)
+        items = [(i, (rng.random(), rng.random())) for i in range(50)]
+        for i, p in items:
+            tree.insert(i, p)
+        for i, p in items:
+            assert tree.delete(i, p)
+        assert tree.root_id is None and tree.height == 0
+        tree.insert(99, (0.1, 0.2))
+        assert list(tree.iter_items()) == [(99, (0.1, 0.2))]
+
+    def test_mixed_workload_invariants(self, rng):
+        D = 3
+        tree = RTree(MemoryNodeStore(D, 512), D)
+        alive = {}
+        next_id = 0
+        for step in range(1500):
+            if alive and rng.random() < 0.4:
+                oid = rng.choice(list(alive))
+                assert tree.delete(oid, alive.pop(oid))
+            else:
+                p = tuple(rng.random() for _ in range(D))
+                tree.insert(next_id, p)
+                alive[next_id] = p
+                next_id += 1
+            if step % 300 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        assert sorted(tree.iter_items()) == sorted(alive.items())
+
+    def test_duplicate_points_coexist(self):
+        D = 2
+        tree = RTree(MemoryNodeStore(D, 256), D)
+        for i in range(10):
+            tree.insert(i, (0.5, 0.5))
+        assert tree.size == 10
+        assert tree.delete(3, (0.5, 0.5))
+        assert sorted(i for i, _ in tree.iter_items()) == [
+            0, 1, 2, 4, 5, 6, 7, 8, 9,
+        ]
+
+    def test_insert_wrong_dims_rejected(self):
+        tree = RTree(MemoryNodeStore(2, 256), 2)
+        with pytest.raises(ValueError):
+            tree.insert(0, (0.1, 0.2, 0.3))
+
+    @given(points_strategy(2, min_size=1, max_size=60))
+    @settings(max_examples=25, deadline=None)
+    def test_property_insert_then_delete_half(self, pts):
+        tree = RTree(MemoryNodeStore(2, 256), 2)
+        items = list(enumerate(pts))
+        for i, p in items:
+            tree.insert(i, p)
+        tree.check_invariants()
+        keep = items[len(items) // 2 :]
+        for i, p in items[: len(items) // 2]:
+            assert tree.delete(i, p)
+        tree.check_invariants()
+        assert sorted(tree.iter_items()) == sorted(keep)
+
+
+class TestDiskStoreAccounting:
+    def test_reads_go_through_buffer(self, rng):
+        D = 2
+        store = DiskNodeStore(D, page_size=256, buffer_capacity=0)
+        tree = RTree.bulk_load(
+            store, D, [(i, (rng.random(), rng.random())) for i in range(500)]
+        )
+        store.stats.reset()
+        list(tree.iter_items())
+        assert store.stats.physical_reads == store.num_pages
+        # A second scan re-reads everything with no buffer.
+        list(tree.iter_items())
+        assert store.stats.physical_reads == 2 * store.num_pages
+
+    def test_buffer_absorbs_rereads(self, rng):
+        D = 2
+        store = DiskNodeStore(D, page_size=256, buffer_capacity=10**6)
+        tree = RTree.bulk_load(
+            store, D, [(i, (rng.random(), rng.random())) for i in range(500)]
+        )
+        store.buffer.clear()
+        store.stats.reset()
+        list(tree.iter_items())
+        list(tree.iter_items())
+        assert store.stats.physical_reads == store.num_pages
+        assert store.stats.buffer_hits == store.num_pages
+
+    def test_set_buffer_fraction(self, rng):
+        D = 2
+        store = DiskNodeStore(D, page_size=256, buffer_capacity=0)
+        RTree.bulk_load(
+            store, D, [(i, (rng.random(), rng.random())) for i in range(500)]
+        )
+        store.set_buffer_fraction(0.1)
+        assert store.buffer.capacity == int(store.num_pages * 0.1)

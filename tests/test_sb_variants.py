@@ -1,0 +1,104 @@
+"""SB ablation variants (Figure 8) and their cost relationships."""
+
+import pytest
+
+from repro import build_object_index, solve
+from repro.core.sb import sb_assign
+from repro.data.generators import make_functions, make_objects
+
+from .conftest import random_instance
+
+
+def test_unknown_variant_rejected():
+    fs, os_ = random_instance(3, 5, 2, seed=0)
+    idx = build_object_index(os_, page_size=512)
+    with pytest.raises(ValueError):
+        sb_assign(fs, idx, variant="sb-bogus")
+
+
+def test_unknown_method_rejected():
+    fs, os_ = random_instance(3, 5, 2, seed=0)
+    idx = build_object_index(os_, page_size=512)
+    with pytest.raises(ValueError):
+        solve(fs, idx, method="nope")
+
+
+def test_unknown_maintenance_rejected():
+    fs, os_ = random_instance(3, 5, 2, seed=0)
+    idx = build_object_index(os_, page_size=512)
+    with pytest.raises(ValueError):
+        sb_assign(fs, idx, maintenance="bogus")
+
+
+def test_empty_function_set():
+    fs, os_ = random_instance(0, 5, 2, seed=1)
+    idx = build_object_index(os_, page_size=512)
+    matching, _ = sb_assign(fs, idx)
+    assert len(matching) == 0
+
+
+class TestCostRelationships:
+    """The measurable claims behind Figure 8, asserted at test scale."""
+
+    @pytest.fixture(scope="class")
+    def medium(self):
+        objects = make_objects(3000, 3, "anti-correlated", seed=11)
+        functions = make_functions(150, 3, seed=12)
+        return functions, objects
+
+    def _run(self, functions, objects, variant):
+        idx = build_object_index(objects, buffer_fraction=0.0)
+        return sb_assign(functions, idx, variant=variant)
+
+    def test_sb_and_sb_update_share_io(self, medium):
+        """The 5.1/5.3 optimizations are CPU-only: SB and
+        SB-UpdateSkyline must read identical page counts
+        (paper: "SB and SB-UpdateSkyline have the same I/O cost")."""
+        functions, objects = medium
+        io_sb = self._run(functions, objects, "sb").stats.io_accesses
+        io_up = self._run(functions, objects, "sb-update").stats.io_accesses
+        assert io_sb == io_up
+
+    def test_deltasky_costs_more_io(self, medium):
+        """UpdateSkyline saves an order of magnitude of I/O vs
+        DeltaSky (Figure 8(a))."""
+        functions, objects = medium
+        io_up = self._run(functions, objects, "sb-update").stats.io_accesses
+        io_ds = self._run(functions, objects, "sb-deltasky").stats.io_accesses
+        assert io_ds > 2 * io_up
+
+    def test_multi_pair_reduces_loops(self, medium):
+        """Section 5.3: emitting multiple stable pairs per loop cuts
+        the number of skyline-maintenance rounds."""
+        functions, objects = medium
+        loops_multi = self._run(functions, objects, "sb").stats.loops
+        loops_single = self._run(functions, objects, "sb-update").stats.loops
+        assert loops_multi < loops_single
+
+    def test_sb_ta_work_is_lower(self, medium):
+        """Resume + bias must reduce total sorted-list accesses vs
+        fresh round-robin searches (the 5.1 CPU claim)."""
+        functions, objects = medium
+        opt = self._run(functions, objects, "sb").stats.counters
+        base = self._run(functions, objects, "sb-update").stats.counters
+        assert opt["ta_sorted_accesses"] < base["ta_sorted_accesses"]
+
+    def test_read_once_no_page_reread(self, medium):
+        """Theorem 1 at the solver level: with a zero buffer, SB's
+        logical reads equal physical reads equal <= pages in the tree."""
+        functions, objects = medium
+        idx = build_object_index(objects, buffer_fraction=0.0)
+        result = sb_assign(functions, idx)
+        io = result.stats.io
+        assert io.physical_reads == io.logical_reads
+        assert io.physical_reads <= idx.tree.store.num_pages
+
+    def test_omega_fraction_none_works(self, medium):
+        functions, objects = medium
+        idx = build_object_index(objects, buffer_fraction=0.0)
+        a = sb_assign(functions, idx, omega_fraction=None)
+        idx2 = build_object_index(objects, buffer_fraction=0.0)
+        b = sb_assign(functions, idx2, omega_fraction=0.01)
+        assert a.matching.as_dict() == b.matching.as_dict()
+        # Smaller omega trades restarts for memory.
+        assert b.stats.peak_memory_bytes <= a.stats.peak_memory_bytes

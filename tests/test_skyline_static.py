@@ -1,0 +1,97 @@
+"""Static skyline algorithms: BNL, D&C, SFS vs the naive reference."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.skyline import bnl_skyline, dc_skyline, naive_skyline, sfs_skyline
+from repro.skyline.sfs import sfs_skyline_with_stats
+
+from .conftest import points_strategy, random_points
+
+
+@pytest.mark.parametrize("dims", [1, 2, 3, 4, 5])
+def test_all_algorithms_agree_random(dims, rng):
+    items = list(enumerate(random_points(300, dims, rng)))
+    ref = naive_skyline(items)
+    assert bnl_skyline(items) == ref
+    assert dc_skyline(items) == ref
+    assert sfs_skyline(items) == ref
+
+
+@pytest.mark.parametrize("dims", [2, 3])
+def test_all_algorithms_agree_tie_heavy(dims, rng):
+    items = list(enumerate(random_points(200, dims, rng, tie_heavy=True)))
+    ref = naive_skyline(items)
+    assert bnl_skyline(items) == ref
+    assert dc_skyline(items) == ref
+    assert sfs_skyline(items) == ref
+
+
+@given(points_strategy(3, min_size=0, max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_property_equivalence_3d(pts):
+    items = list(enumerate(pts))
+    ref = naive_skyline(items)
+    assert bnl_skyline(items) == ref
+    assert dc_skyline(items) == ref
+    assert sfs_skyline(items) == ref
+
+
+@given(points_strategy(2, min_size=1, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_bnl_windows_property(pts):
+    items = list(enumerate(pts))
+    ref = naive_skyline(items)
+    for window in (1, 2, 3, 7):
+        assert bnl_skyline(items, window_size=window) == ref
+
+
+def test_bnl_invalid_window():
+    with pytest.raises(ValueError):
+        bnl_skyline([(0, (0.5, 0.5))], window_size=0)
+
+
+def test_empty_input():
+    assert naive_skyline([]) == {}
+    assert bnl_skyline([]) == {}
+    assert dc_skyline([]) == {}
+    assert sfs_skyline([]) == {}
+
+
+def test_duplicates_all_in_skyline():
+    # Coincident points do not dominate each other (Section 2.2).
+    items = [(0, (0.5, 0.5)), (1, (0.5, 0.5)), (2, (0.1, 0.1))]
+    ref = naive_skyline(items)
+    assert set(ref) == {0, 1}
+    assert bnl_skyline(items) == ref
+    assert dc_skyline(items) == ref
+    assert sfs_skyline(items) == ref
+
+
+def test_single_dominating_point():
+    items = [(0, (1.0, 1.0))] + [(i, (0.1, 0.1)) for i in range(1, 20)]
+    assert set(naive_skyline(items)) == {0}
+
+
+def test_sfs_early_termination_examines_prefix_only(rng):
+    # A clearly dominating point near (1,1) lets SaLSa stop early on
+    # a large dominated cloud.
+    items = [(0, (0.99, 0.99))] + [
+        (i, (rng.random() * 0.4, rng.random() * 0.4)) for i in range(1, 500)
+    ]
+    result, examined = sfs_skyline_with_stats(items)
+    assert set(result) == {0}
+    assert examined < len(items)  # did not scan the whole input
+
+
+def test_sfs_correlated_stops_early(rng):
+    # Correlated diagonal data: the stop rule (watermark < best
+    # min-coordinate) kicks in once sums drop below the best point's
+    # min coordinate — roughly half the input here, never all of it.
+    base = [rng.random() for _ in range(400)]
+    items = [
+        (i, (b, min(1.0, b + 0.01 * rng.random()))) for i, b in enumerate(base)
+    ]
+    result, examined = sfs_skyline_with_stats(items)
+    assert result == naive_skyline(items)
+    assert examined <= int(len(items) * 0.7)

@@ -1,0 +1,108 @@
+"""Sorted coefficient lists: ordering, lazy deletion, paging."""
+
+import math
+
+import pytest
+
+from repro.data.instances import FunctionSet
+from repro.topk.sorted_lists import CoefficientLists, PagedCoefficientLists
+
+from .conftest import random_weights
+
+
+def make_functions(rng, n=20, dims=3, gammas=None):
+    return FunctionSet(random_weights(n, dims, rng), gammas=gammas)
+
+
+class TestCoefficientLists:
+    def test_lists_sorted_descending_fid_ascending(self, rng):
+        lists = CoefficientLists(make_functions(rng))
+        for d in range(lists.dims):
+            col = [lists.entry(d, i) for i in range(lists.length(d))]
+            assert col == sorted(col, key=lambda e: (-e[0], e[1]))
+
+    def test_figure5_layout(self):
+        """The paper's Figure 5 lists for fa..fe."""
+        fs = FunctionSet([
+            (0.8, 0.1, 0.1),
+            (0.2, 0.8, 0.0),
+            (0.5, 0.4, 0.1),
+            (0.0, 0.1, 0.9),
+            (0.2, 0.4, 0.4),
+        ])
+        lists = CoefficientLists(fs)
+        l1 = [lists.entry(0, i) for i in range(5)]
+        assert [fid for _, fid in l1] == [0, 2, 1, 4, 3]  # fa fc {fb,fe} fd
+        assert l1[0][0] == pytest.approx(0.8)
+        l3 = [lists.entry(2, i) for i in range(5)]
+        assert l3[0] == (pytest.approx(0.9), 3)  # fd leads the z-list
+
+    def test_initial_bound_is_max(self, rng):
+        lists = CoefficientLists(make_functions(rng))
+        for d in range(lists.dims):
+            assert lists.initial_bound(d) == lists.entry(d, 0)[0]
+
+    def test_kill_is_lazy(self, rng):
+        lists = CoefficientLists(make_functions(rng, n=5))
+        lists.kill(2)
+        assert not lists.is_alive(2)
+        assert lists.n_alive == 4
+        # The entry physically stays.
+        assert any(
+            lists.entry(0, i)[1] == 2 for i in range(lists.length(0))
+        )
+
+    def test_double_kill_rejected(self, rng):
+        lists = CoefficientLists(make_functions(rng, n=3))
+        lists.kill(0)
+        with pytest.raises(KeyError):
+            lists.kill(0)
+
+    def test_max_alive_gamma_tracks_kills(self, rng):
+        fs = make_functions(rng, n=4, gammas=[1.0, 4.0, 2.0, 3.0])
+        lists = CoefficientLists(fs)
+        assert lists.max_alive_gamma() == 4.0
+        lists.kill(1)
+        assert lists.max_alive_gamma() == 3.0
+        lists.kill(3)
+        assert lists.max_alive_gamma() == 2.0
+
+    def test_effective_weights_scaled_by_gamma(self, rng):
+        fs = FunctionSet([(0.5, 0.5)], gammas=[3.0])
+        lists = CoefficientLists(fs)
+        assert lists.effective_weights(0) == (1.5, 1.5)
+        assert lists.initial_bound(0) == pytest.approx(1.5)
+
+    def test_numpy_views_consistent(self, rng):
+        lists = CoefficientLists(make_functions(rng))
+        for d in range(lists.dims):
+            for i in range(lists.length(d)):
+                coef, fid = lists.entry(d, i)
+                assert lists.coefs_np[d][i] == coef
+                assert lists.fids_np[d][i] == fid
+
+
+class TestPagedCoefficientLists:
+    def test_sequential_scan_charges_one_read_per_page(self, rng):
+        fs = make_functions(rng, n=100, dims=2)
+        # 16-byte entries, 64-byte pages -> 4 entries per page.
+        lists = PagedCoefficientLists(fs, page_size=64)
+        assert lists.entries_per_page == 4
+        for i in range(100):
+            lists.entry(0, i)
+        assert lists.stats.physical_reads == math.ceil(100 / 4)
+
+    def test_random_access_charges(self, rng):
+        fs = make_functions(rng, n=64, dims=3)
+        lists = PagedCoefficientLists(fs, page_size=64)
+        lists.stats.reset()
+        lists.random_access(5, 1)
+        assert lists.stats.physical_reads == 1
+        # Same page again: the one-page-per-list cache absorbs it.
+        lists.random_access(5, 1)
+        assert lists.stats.physical_reads == 1
+
+    def test_num_pages(self, rng):
+        fs = make_functions(rng, n=10, dims=2)
+        lists = PagedCoefficientLists(fs, page_size=64)
+        assert lists.num_pages() == 2 * math.ceil(10 / 4)

@@ -1,0 +1,183 @@
+"""Unit tests for the storage substrate: page file, LRU buffer, stats."""
+
+import pytest
+
+from repro.storage import IOStats, LRUBufferPool, MemoryTracker, PageFile
+
+
+class TestIOStats:
+    def test_initial_zero(self):
+        s = IOStats()
+        assert s.physical_reads == 0
+        assert s.logical_reads == 0
+        assert s.buffer_hits == 0
+
+    def test_hit_and_miss_accounting(self):
+        s = IOStats()
+        s.record_miss()
+        s.record_hit()
+        s.record_hit()
+        assert s.physical_reads == 1
+        assert s.logical_reads == 3
+        assert s.buffer_hits == 2
+
+    def test_delta_since(self):
+        s = IOStats()
+        s.record_miss()
+        snap = s.snapshot()
+        s.record_miss()
+        s.record_hit()
+        d = s.delta_since(snap)
+        assert d.physical_reads == 1
+        assert d.logical_reads == 2
+
+    def test_reset(self):
+        s = IOStats()
+        s.record_miss()
+        s.record_write()
+        s.reset()
+        assert s.physical_reads == 0
+        assert s.physical_writes == 0
+
+
+class TestMemoryTracker:
+    def test_peak_tracks_sum_of_gauges(self):
+        m = MemoryTracker()
+        m.set_gauge("a", 100)
+        m.set_gauge("b", 50)
+        assert m.peak_bytes == 150
+        m.set_gauge("a", 10)
+        assert m.current_bytes == 60
+        assert m.peak_bytes == 150  # peak is sticky
+
+    def test_add_accumulates(self):
+        m = MemoryTracker()
+        m.add("x", 10)
+        m.add("x", 15)
+        assert m.gauges["x"] == 25
+
+    def test_reset(self):
+        m = MemoryTracker()
+        m.set_gauge("a", 5)
+        m.reset()
+        assert m.peak_bytes == 0
+        assert m.current_bytes == 0
+
+
+class TestPageFile:
+    def test_allocate_write_read(self):
+        pf = PageFile(page_size=128)
+        pid = pf.allocate()
+        pf.write(pid, b"hello")
+        assert pf.read(pid) == b"hello"
+        assert pf.stats.physical_reads == 1
+        assert pf.stats.physical_writes == 1
+
+    def test_write_overflow_rejected(self):
+        pf = PageFile(page_size=8)
+        pid = pf.allocate()
+        with pytest.raises(ValueError):
+            pf.write(pid, b"123456789")
+
+    def test_unallocated_access_rejected(self):
+        pf = PageFile()
+        with pytest.raises(KeyError):
+            pf.read(7)
+        with pytest.raises(KeyError):
+            pf.write(7, b"x")
+        with pytest.raises(KeyError):
+            pf.free(7)
+
+    def test_free_reuses_ids(self):
+        pf = PageFile()
+        a = pf.allocate()
+        pf.free(a)
+        b = pf.allocate()
+        assert b == a
+        assert pf.num_pages == 1
+
+    def test_size_accounting(self):
+        pf = PageFile(page_size=4096)
+        for _ in range(3):
+            pf.allocate()
+        assert pf.size_bytes == 3 * 4096
+
+    def test_invalid_page_size(self):
+        with pytest.raises(ValueError):
+            PageFile(page_size=0)
+
+
+class TestLRUBufferPool:
+    def _file_with_pages(self, n, page_size=64):
+        pf = PageFile(page_size=page_size)
+        pids = []
+        for i in range(n):
+            pid = pf.allocate()
+            pf.write(pid, bytes([i]) * 8)
+            pids.append(pid)
+        pf.stats.reset()
+        return pf, pids
+
+    def test_hit_after_first_read(self):
+        pf, pids = self._file_with_pages(1)
+        buf = LRUBufferPool(pf, capacity=4)
+        buf.read(pids[0])
+        buf.read(pids[0])
+        assert pf.stats.physical_reads == 1
+        assert pf.stats.buffer_hits == 1
+
+    def test_zero_capacity_never_caches(self):
+        pf, pids = self._file_with_pages(1)
+        buf = LRUBufferPool(pf, capacity=0)
+        buf.read(pids[0])
+        buf.read(pids[0])
+        assert pf.stats.physical_reads == 2
+        assert pf.stats.buffer_hits == 0
+
+    def test_lru_eviction_order(self):
+        pf, pids = self._file_with_pages(3)
+        buf = LRUBufferPool(pf, capacity=2)
+        buf.read(pids[0])
+        buf.read(pids[1])
+        buf.read(pids[0])  # 0 is now most recent
+        buf.read(pids[2])  # evicts 1
+        pf.stats.reset()
+        buf.read(pids[0])
+        assert pf.stats.physical_reads == 0  # still resident
+        buf.read(pids[1])
+        assert pf.stats.physical_reads == 1  # was evicted
+
+    def test_write_through_keeps_page_resident(self):
+        pf, pids = self._file_with_pages(1)
+        buf = LRUBufferPool(pf, capacity=2)
+        buf.write(pids[0], b"fresh")
+        pf.stats.reset()
+        assert buf.read(pids[0]) == b"fresh"
+        assert pf.stats.physical_reads == 0
+
+    def test_resize_evicts(self):
+        pf, pids = self._file_with_pages(3)
+        buf = LRUBufferPool(pf, capacity=3)
+        for pid in pids:
+            buf.read(pid)
+        buf.resize(1)
+        assert len(buf) == 1
+
+    def test_fraction_of(self):
+        pf, _ = self._file_with_pages(50)
+        buf = LRUBufferPool.fraction_of(pf, 0.1)
+        assert buf.capacity == 5
+
+    def test_invalidate(self):
+        pf, pids = self._file_with_pages(1)
+        buf = LRUBufferPool(pf, capacity=2)
+        buf.read(pids[0])
+        buf.invalidate(pids[0])
+        pf.stats.reset()
+        buf.read(pids[0])
+        assert pf.stats.physical_reads == 1
+
+    def test_negative_capacity_rejected(self):
+        pf, _ = self._file_with_pages(1)
+        with pytest.raises(ValueError):
+            LRUBufferPool(pf, capacity=-1)

@@ -1,0 +1,93 @@
+"""Stability validation must detect broken matchings."""
+
+import pytest
+
+from repro.core.types import Matching
+from repro.core.validate import (
+    assert_stable,
+    assert_valid_matching,
+    find_blocking_pair,
+)
+from repro.core.reference import greedy_assign
+from repro.data.instances import FunctionSet, ObjectSet
+from repro.scoring import score
+
+from .conftest import random_instance
+
+
+def test_stable_matching_passes():
+    fs, os_ = random_instance(6, 10, 3, seed=1)
+    result = greedy_assign(fs, os_)
+    assert find_blocking_pair(result.matching, fs, os_) is None
+    assert_valid_matching(result.matching, fs, os_)
+
+
+def test_swapped_partners_detected():
+    """Swapping two pairs of a stable matching creates a blocking pair."""
+    fs, os_ = random_instance(6, 10, 3, seed=2)
+    matching = greedy_assign(fs, os_).matching
+    pairs = matching.pairs
+    assert len(pairs) >= 2
+    a, b = pairs[0], pairs[1]
+    corrupted = Matching()
+    corrupted.add(a.fid, b.oid, score(fs.effective_weights(a.fid),
+                                      os_.points[b.oid]))
+    corrupted.add(b.fid, a.oid, score(fs.effective_weights(b.fid),
+                                      os_.points[a.oid]))
+    for p in pairs[2:]:
+        corrupted.add(p.fid, p.oid, p.score, p.count)
+    # The first greedy pair (a) was the global best; splitting it up
+    # always leaves (a.fid, a.oid) blocking (though the scan may find
+    # another blocking pair first).
+    assert find_blocking_pair(corrupted, fs, os_) is not None
+    with pytest.raises(AssertionError):
+        assert_stable(corrupted, fs, os_)
+
+
+def test_undersized_matching_rejected():
+    fs, os_ = random_instance(4, 10, 2, seed=3)
+    matching = greedy_assign(fs, os_).matching
+    partial = Matching()
+    for p in matching.pairs[:-1]:
+        partial.add(p.fid, p.oid, p.score, p.count)
+    with pytest.raises(AssertionError):
+        assert_valid_matching(partial, fs, os_)
+
+
+def test_over_capacity_rejected():
+    fs = FunctionSet([(0.5, 0.5)])
+    os_ = ObjectSet([(0.5, 0.5), (0.4, 0.4)])
+    over = Matching()
+    over.add(0, 0, 0.5)
+    over.add(0, 1, 0.4)  # function 0 has capacity 1
+    with pytest.raises(ValueError):
+        find_blocking_pair(over, fs, os_)
+
+
+def test_empty_matching_on_empty_side():
+    fs = FunctionSet([])
+    os_ = ObjectSet([(0.5, 0.5)])
+    m = Matching()
+    assert find_blocking_pair(m, fs, os_) is None
+
+
+def test_capacitated_stability():
+    fs, os_ = random_instance(5, 8, 3, seed=4, capacities=True)
+    matching = greedy_assign(fs, os_).matching
+    assert_valid_matching(matching, fs, os_)
+
+
+def test_unstable_capacitated_detected():
+    """Give one of the best object's capacity units to the wrong
+    function: the displaced better function forms a blocking pair."""
+    fs = FunctionSet([(1.0, 0.0), (0.0, 1.0), (0.5, 0.5)])
+    os_ = ObjectSet([(1.0, 0.9), (0.1, 0.1)], capacities=[2, 2])
+    # Scores on o0: f0 = 1.0 > f2 = 0.95 > f1 = 0.9.  Canonically o0's
+    # two units go to f0 and f2; give one to f1 instead.
+    bad = Matching()
+    bad.add(0, 0, score((1.0, 0.0), (1.0, 0.9)))
+    bad.add(1, 0, score((0.0, 1.0), (1.0, 0.9)))
+    bad.add(2, 1, score((0.5, 0.5), (0.1, 0.1)))  # f2 displaced to o1
+    # (f2, o0) blocks: f2 prefers o0 to o1, and o0 prefers f2 to its
+    # worst partner f1.
+    assert find_blocking_pair(bad, fs, os_) == (2, 0)
