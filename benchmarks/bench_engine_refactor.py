@@ -1,0 +1,83 @@
+"""Perf-trajectory baseline for the engine refactor.
+
+Runs the paper's Table 2 default configuration (scaled, see
+``repro.bench.config``) through the ``sb`` solver and records
+wall-time / I/O / memory into ``BENCH_engine.json`` next to this
+script.  Run once before a refactor with ``--label pre_refactor`` and
+once after with ``--label post_refactor``; later PRs append further
+labelled snapshots so the repo carries its own perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine_refactor.py --label post_refactor
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+from pathlib import Path
+
+from repro.bench.config import current_scale, defaults
+from repro.bench.harness import clear_caches, make_instance, run_cell
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+
+
+def measure(method: str, repeats: int) -> dict:
+    d = defaults()
+    functions, objects = make_instance(d.nf, d.no, d.dims, d.distribution, seed=2)
+    cells = [
+        run_cell(
+            method,
+            functions,
+            objects,
+            buffer_fraction=d.buffer_fraction,
+            page_size=d.page_size,
+        )
+        for _ in range(repeats)
+    ]
+    times = [c.cpu_seconds for c in cells]
+    return {
+        "method": method,
+        "scale": current_scale(),
+        "nf": d.nf,
+        "no": d.no,
+        "dims": d.dims,
+        "repeats": repeats,
+        "wall_seconds_median": statistics.median(times),
+        "wall_seconds_min": min(times),
+        "io_accesses": cells[0].io,
+        "peak_memory_bytes": cells[0].memory_bytes,
+        "loops": cells[0].loops,
+        "pairs": cells[0].pairs,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--label", required=True,
+        help="snapshot name, e.g. pre_refactor / post_refactor",
+    )
+    parser.add_argument("--method", default="sb")
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args()
+
+    clear_caches()
+    snapshot = measure(args.method, args.repeats)
+    snapshot["python"] = platform.python_version()
+
+    results = {}
+    if RESULT_PATH.exists():
+        results = json.loads(RESULT_PATH.read_text())
+    results[args.label] = snapshot
+    RESULT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(f"{args.label}: {snapshot['wall_seconds_median']:.3f}s median "
+          f"({snapshot['io_accesses']} page reads) -> {RESULT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -29,18 +29,26 @@ from repro.core import (
     solve,
 )
 from repro.data.instances import FunctionSet, ObjectSet
+from repro.engine import AssignmentEngine, EngineConfig, engine_config
+from repro.service import BatchSolver, JobResult, SolveJob
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AssignedPair",
+    "AssignmentEngine",
     "AssignmentResult",
+    "BatchSolver",
+    "EngineConfig",
     "FunctionSet",
+    "JobResult",
     "Matching",
     "ObjectIndex",
     "ObjectSet",
     "RunStats",
+    "SolveJob",
     "build_object_index",
+    "engine_config",
     "solve",
     "__version__",
 ]

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.core import solve
 from repro.core.index import ObjectIndex, build_object_index
+from repro.engine.engine import EngineConfig
 from repro.data.generators import make_functions, make_objects
 from repro.data.instances import FunctionSet, ObjectSet
 from repro.data.real import nba_like, zillow_like
@@ -122,7 +123,7 @@ def clear_caches() -> None:
 
 
 def run_cell(
-    method: str,
+    method: str | EngineConfig,
     functions: FunctionSet,
     objects: ObjectSet,
     buffer_fraction: float = 0.02,
@@ -132,14 +133,19 @@ def run_cell(
     **solve_kwargs,
 ) -> Cell:
     """Run one solver on one instance, cold-started, and collect the
-    paper's metrics."""
+    paper's metrics.
+
+    ``method`` is a solver name or an
+    :class:`~repro.engine.engine.EngineConfig` — ablation studies can
+    drive custom strategy combinations straight through the harness.
+    """
     index = get_index(objects, page_size=page_size, memory=memory_index)
     index.reset_for_run(buffer_fraction=buffer_fraction)
     start = time.perf_counter()
     matching, stats = solve(functions, index, method=method, **solve_kwargs)
     elapsed = time.perf_counter() - start
     return Cell(
-        method=method,
+        method=method if isinstance(method, str) else method.name,
         params=dict(params or {}),
         io=stats.io_accesses,
         cpu_seconds=elapsed,

@@ -13,6 +13,10 @@ Public entry points:
   :func:`repro.core.reference.gale_shapley_assign` — oracles;
 - :func:`repro.core.validate.assert_stable` — stability checking;
 - :func:`repro.core.index.build_object_index` — the object R-tree.
+
+Every solver above (except the oracles and Brute Force) is a thin
+strategy configuration over :class:`repro.engine.AssignmentEngine`;
+``solve`` also accepts a custom :class:`repro.engine.EngineConfig`.
 """
 
 from repro.core.brute_force import brute_force_assign
@@ -25,6 +29,7 @@ from repro.core.sb_alt import sb_alt_assign
 from repro.core.types import AssignedPair, AssignmentResult, Matching, RunStats
 from repro.core.validate import assert_stable, assert_valid_matching, find_blocking_pair
 from repro.data.instances import FunctionSet, ObjectSet
+from repro.engine.engine import AssignmentEngine, EngineConfig
 
 SOLVERS = {
     "sb": sb_assign,
@@ -40,16 +45,25 @@ SOLVERS = {
 def solve(
     functions: FunctionSet,
     index: ObjectIndex,
-    method: str = "sb",
+    method: str | EngineConfig = "sb",
     **kwargs,
 ) -> AssignmentResult:
-    """Run one of the stable-assignment algorithms by name.
+    """Run one of the stable-assignment algorithms.
 
     ``method`` is one of ``sb`` (the paper's algorithm), ``sb-update`` /
     ``sb-deltasky`` (Figure 8 ablations), ``sb-two-skylines``
     (prioritized variant), ``sb-alt`` (disk-resident functions),
-    ``brute-force`` or ``chain``.
+    ``brute-force`` or ``chain`` — or an
+    :class:`~repro.engine.engine.EngineConfig` to run a custom
+    strategy combination directly on the engine.
     """
+    if isinstance(method, EngineConfig):
+        if kwargs:
+            raise TypeError(
+                "keyword overrides are not accepted with an EngineConfig; "
+                "bake them into the config instead"
+            )
+        return AssignmentEngine(method).run(functions, index)
     try:
         fn = SOLVERS[method]
     except KeyError:

@@ -13,22 +13,20 @@ alive function id), finds its top-1 partner ``y``, and checks whether
 otherwise ``y`` is enqueued and the chase continues.  Every top-1
 query starts from scratch — Chain cannot resume searches, which is
 precisely why the paper measures it as the most expensive method.
+
+Since the engine refactor the chase lives in
+:class:`repro.engine.rounds.ChainRound` (one chase step per engine
+round, sharing the engine's commit/instrumentation machinery); this
+module is the thin ``chain`` strategy configuration.
 """
 
 from __future__ import annotations
 
-import time
-from collections import deque
-
-from repro.core.capacity import CapacityTracker
 from repro.core.index import ObjectIndex
-from repro.core.types import AssignmentResult, Matching, RunStats
+from repro.core.types import AssignmentResult
 from repro.data.instances import FunctionSet
-from repro.rtree.store import MemoryNodeStore
-from repro.rtree.tree import RTree
-from repro.scoring import score
-from repro.storage.stats import BYTES_PER_HEAP_ENTRY, MemoryTracker
-from repro.topk.brs import BRSSearch
+from repro.engine.configs import chain_config
+from repro.engine.engine import AssignmentEngine
 
 
 def chain_assign(
@@ -43,129 +41,5 @@ def chain_assign(
     7.6 setting where ``F`` does not fit in memory; its page reads are
     then included in the reported I/O.
     """
-    start = time.perf_counter()
-    io_before = index.stats.snapshot()
-    mem = MemoryTracker()
-    matching = Matching()
-    caps = CapacityTracker(functions, index.objects)
-    objects = index.objects
-
-    # R-tree over the (γ-scaled) function weights; its construction is
-    # part of Chain's CPU cost (Section 7).  Assigned functions are
-    # physically deleted, as in the original algorithm.
-    dims = functions.dims
-    if disk_function_tree:
-        from repro.rtree.store import DiskNodeStore
-
-        fn_store = DiskNodeStore(dims, page_size=4096, buffer_capacity=0)
-    else:
-        fn_store = MemoryNodeStore(dims, page_size=4096)
-    fn_tree = RTree.bulk_load(
-        fn_store, dims, [(fid, functions.effective_weights(fid)) for fid in
-                         range(len(functions))]
-    )
-    if disk_function_tree:
-        fn_store.set_buffer_fraction(0.02)
-        fn_store.buffer.clear()
-        fn_store.stats.reset()
-
-    assigned_objects: set[int] = set()
-    pending: deque[tuple[str, int]] = deque()
-    next_seed = 0
-    loops = 0
-    top1_searches = 0
-
-    def top1_object(fid: int) -> tuple[int, float] | None:
-        """Best remaining object for a function (fresh BRS search)."""
-        nonlocal top1_searches
-        top1_searches += 1
-        search = BRSSearch(
-            index.tree, functions.effective_weights(fid), assigned_objects
-        )
-        result = search.next()
-        mem.set_gauge("chain_search", search.memory_bytes())
-        if result is None:
-            return None
-        oid, _point, s = result
-        return oid, s
-
-    def top1_function(oid: int) -> int | None:
-        """Best remaining function for an object (fresh BRS search on
-        the function tree; weights and points swap roles)."""
-        nonlocal top1_searches
-        top1_searches += 1
-        search = BRSSearch(fn_tree, objects.points[oid])
-        result = search.next()
-        mem.set_gauge("chain_search", search.memory_bytes())
-        if result is None:
-            return None
-        fid, _weights, _s = result
-        return fid
-
-    def emit(fid: int, oid: int) -> None:
-        nonlocal next_seed
-        s = score(functions.effective_weights(fid), objects.points[oid])
-        units, f_died, o_died = caps.assign(fid, oid)
-        matching.add(fid, oid, s, units)
-        if o_died:
-            assigned_objects.add(oid)
-        else:
-            pending.append(("o", oid))
-        if f_died:
-            fn_tree.delete(fid, functions.effective_weights(fid))
-        else:
-            pending.append(("f", fid))
-
-    while not caps.exhausted:
-        loops += 1
-        mem.set_gauge("chain_queue", len(pending) * BYTES_PER_HEAP_ENTRY)
-        if pending:
-            side, ident = pending.popleft()
-            if side == "f" and not caps.function_alive(ident):
-                continue
-            if side == "o" and not caps.object_alive(ident):
-                continue
-        else:
-            while next_seed < len(functions) and not caps.function_alive(next_seed):
-                next_seed += 1
-            if next_seed >= len(functions):
-                break
-            side, ident = "f", next_seed
-
-        if side == "f":
-            found = top1_object(ident)
-            if found is None:
-                break  # no objects left at all
-            oid, _s = found
-            back = top1_function(oid)
-            if back == ident:
-                emit(ident, oid)
-            else:
-                pending.append(("o", oid))
-        else:
-            back_fid = top1_function(ident)
-            if back_fid is None:
-                break  # no functions left at all
-            found = top1_object(back_fid)
-            if found is not None and found[0] == ident:
-                emit(back_fid, ident)
-            else:
-                pending.append(("f", back_fid))
-
-    io = index.stats.delta_since(io_before)
-    stats = RunStats(
-        io=io,
-        cpu_seconds=time.perf_counter() - start,
-        peak_memory_bytes=mem.peak_bytes,
-        loops=loops,
-        counters={
-            "top1_searches": top1_searches,
-            "fn_tree_accesses": fn_store.stats.logical_reads,
-        },
-    )
-    if disk_function_tree:
-        stats.counters["function_tree_reads"] = fn_store.stats.physical_reads
-        stats.counters["object_reads"] = io.physical_reads
-        io.physical_reads += fn_store.stats.physical_reads
-        io.logical_reads += fn_store.stats.logical_reads
-    return AssignmentResult(matching, stats)
+    config = chain_config(disk_function_tree=disk_function_tree)
+    return AssignmentEngine(config).run(functions, index)

@@ -15,21 +15,19 @@ then ``f'(o) >= f(o)`` for every non-negative object, and the canonical
 function order of :mod:`repro.ordering` breaks score ties toward the
 dominator, so the canonical best function for any object is always on
 the function skyline.
+
+Since the engine refactor the Fsky scan lives in
+:class:`repro.engine.search.FskySearch`; this module is the thin
+``sb-two-skylines`` strategy configuration.
 """
 
 from __future__ import annotations
 
-import time
-
-from repro.core.capacity import CapacityTracker
 from repro.core.index import ObjectIndex
-from repro.core.types import AssignmentResult, Matching, RunStats
-from repro.core.vectorized import MatrixView
+from repro.core.types import AssignmentResult
 from repro.data.instances import FunctionSet
-from repro.ordering import pair_key
-from repro.skyline.inmemory import InMemorySkylineManager
-from repro.skyline.maintenance import UpdateSkylineManager
-from repro.storage.stats import BYTES_PER_PLIST_ENTRY, MemoryTracker
+from repro.engine.configs import two_skyline_config
+from repro.engine.engine import AssignmentEngine
 
 
 def sb_two_skyline_assign(
@@ -38,82 +36,5 @@ def sb_two_skyline_assign(
     multi_pair: bool = True,
 ) -> AssignmentResult:
     """SB with both an object skyline and a function skyline."""
-    start = time.perf_counter()
-    io_before = index.stats.snapshot()
-    mem = MemoryTracker()
-    matching = Matching()
-    caps = CapacityTracker(functions, index.objects)
-    objects = index.objects
-
-    if len(functions) == 0 or len(objects) == 0:
-        return AssignmentResult(matching, RunStats())
-
-    object_manager = UpdateSkylineManager(index.tree, mem)
-    osky = object_manager.compute_initial()
-    function_manager = InMemorySkylineManager(
-        [(fid, functions.effective_weights(fid)) for fid in range(len(functions))]
-    )
-    fsky = function_manager.skyline
-
-    loops = 0
-    while not caps.exhausted and osky and fsky:
-        loops += 1
-        mem.set_gauge(
-            "fsky", (len(fsky) + function_manager.memory_entries())
-            * BYTES_PER_PLIST_ENTRY,
-        )
-
-        # Best function of each skyline object, searched within Fsky
-        # (exhaustively, as Section 6.2 argues — vectorized here).
-        fsky_view = MatrixView.from_dict(fsky)
-        fbest: dict[int, tuple[int, float]] = {}
-        for oid in sorted(osky):
-            fbest[oid] = fsky_view.best_for(objects.points[oid])
-
-        # Best skyline object of each candidate function.
-        osky_view = MatrixView.from_dict(osky)
-        candidate_fids = sorted({fid for fid, _ in fbest.values()})
-        obest: dict[int, int] = {}
-        for fid in candidate_fids:
-            w = functions.effective_weights(fid)
-            obest[fid] = osky_view.best_for(w)[0]
-
-        stable = [
-            (fid, obest[fid], fbest[obest[fid]][1])
-            for fid in candidate_fids
-            if fbest[obest[fid]][0] == fid
-        ]
-        if not multi_pair:
-            stable = [min(
-                stable,
-                key=lambda t: pair_key(
-                    t[2], functions.effective_weights(t[0]), t[0],
-                    objects.points[t[1]], t[1],
-                ),
-            )]
-
-        removed_objects: list[int] = []
-        removed_functions: list[int] = []
-        for fid, oid, s in stable:
-            units, f_died, o_died = caps.assign(fid, oid)
-            matching.add(fid, oid, s, units)
-            if f_died:
-                removed_functions.append(fid)
-            if o_died:
-                removed_objects.append(oid)
-
-        if caps.exhausted:
-            break
-        if removed_objects:
-            osky = object_manager.remove(removed_objects)
-        if removed_functions:
-            fsky = function_manager.remove(removed_functions)
-
-    stats = RunStats(
-        io=index.stats.delta_since(io_before),
-        cpu_seconds=time.perf_counter() - start,
-        peak_memory_bytes=mem.peak_bytes,
-        loops=loops,
-        counters={"fsky_final_size": len(fsky)},
-    )
-    return AssignmentResult(matching, stats)
+    config = two_skyline_config(multi_pair=multi_pair)
+    return AssignmentEngine(config).run(functions, index)

@@ -17,8 +17,11 @@ skyline objects can appear in stable pairs) and, per loop:
    I/O-optimal UpdateSkyline (Section 5.2) — or with DeltaSky when
    running the Figure 8 ablation.
 
-All of Section 5's optimizations are switchable so the benchmarks can
-reproduce Figure 8:
+Since the engine refactor this module is a thin strategy
+configuration: the round loop lives in
+:class:`repro.engine.AssignmentEngine`, the TA search in
+:class:`repro.engine.search.ReverseTASearch`, and the ablation
+variants are the named configs of :mod:`repro.engine.configs`:
 
 =====================  ========================================
 ``variant="sb"``        everything on (the paper's SB)
@@ -31,22 +34,14 @@ reproduce Figure 8:
 
 from __future__ import annotations
 
-import time
 from collections.abc import Iterable
 
-from repro.core.capacity import CapacityTracker
 from repro.core.index import ObjectIndex
-from repro.core.types import AssignmentResult, Matching, RunStats
-from repro.core.vectorized import MatrixView
+from repro.core.types import AssignmentResult
 from repro.data.instances import FunctionSet
-from repro.ordering import pair_key
-from repro.skyline.deltasky import DeltaSkyManager
-from repro.skyline.maintenance import UpdateSkylineManager
-from repro.storage.stats import MemoryTracker
-from repro.topk.reverse import ReverseBestSearch, SearchCounters
-from repro.topk.sorted_lists import CoefficientLists, PagedCoefficientLists
-
-VARIANTS = ("sb", "sb-update", "sb-deltasky")
+from repro.engine.configs import SB_VARIANTS as VARIANTS
+from repro.engine.configs import sb_config
+from repro.engine.engine import AssignmentEngine
 
 
 def sb_assign(
@@ -73,151 +68,16 @@ def sb_assign(
     charge list-page I/O, which is reported alongside the object-tree
     I/O (compare with :func:`repro.core.sb_alt.sb_alt_assign`).
     """
-    if variant not in VARIANTS:
-        raise ValueError(f"unknown variant {variant!r}; expected one of {VARIANTS}")
-    optimized = variant == "sb"
-    if multi_pair is None:
-        multi_pair = optimized
-    if biased is None:
-        biased = optimized
-    if resume is None:
-        resume = optimized
-    if maintenance is None:
-        maintenance = "deltasky" if variant == "sb-deltasky" else "update-skyline"
-
-    start = time.perf_counter()
-    io_before = index.stats.snapshot()
-    mem = MemoryTracker()
-    matching = Matching()
-    caps = CapacityTracker(functions, index.objects)
-    objects = index.objects
-    counters = SearchCounters()
-
-    if len(functions) == 0 or len(objects) == 0:
-        return AssignmentResult(matching, RunStats())
-
-    if paged_function_lists is None:
-        lists = CoefficientLists(functions)
-    else:
-        lists = PagedCoefficientLists(functions, page_size=paged_function_lists)
-    omega = None
-    if optimized and omega_fraction is not None:
-        omega = max(1, int(omega_fraction * len(functions)))
-
-    if maintenance == "update-skyline":
-        manager = UpdateSkylineManager(index.tree, mem)
-    elif maintenance == "deltasky":
-        manager = DeltaSkyManager(index.tree, mem)
-    else:
-        raise ValueError(f"unknown maintenance {maintenance!r}")
-    skyline = manager.compute_initial()
-
-    searches: dict[int, ReverseBestSearch] = {}
-    ta_state_bytes = 0
-
-    def best_function(oid: int) -> tuple[int, float] | None:
-        """Best alive function for a skyline object (Section 5.1)."""
-        nonlocal ta_state_bytes
-        if not resume:
-            fresh = ReverseBestSearch(
-                lists, objects.points[oid], omega=None, biased=biased,
-                counters=counters,
-            )
-            result = fresh.best()
-            # Transient state: only its momentary size counts.
-            mem.set_gauge("ta_states", fresh.memory_bytes())
-            return result
-        search = searches.get(oid)
-        if search is None:
-            search = ReverseBestSearch(
-                lists, objects.points[oid], omega=omega, biased=biased,
-                counters=counters,
-            )
-            searches[oid] = search
-        ta_state_bytes -= search.memory_bytes()
-        result = search.best()
-        ta_state_bytes += search.memory_bytes()
-        mem.set_gauge("ta_states", ta_state_bytes)
-        return result
-
-    loops = 0
-    exhausted_functions = False
-    while not caps.exhausted and skyline and not exhausted_functions:
-        loops += 1
-
-        # (a) best alive function of every skyline object.
-        fbest: dict[int, tuple[int, float]] = {}
-        for oid in sorted(skyline):
-            result = best_function(oid)
-            if result is None:
-                exhausted_functions = True
-                break
-            fbest[oid] = result
-        if exhausted_functions:
-            break
-
-        # (b) best skyline object of every candidate function
-        #     (vectorized canonical scan of the in-memory skyline).
-        skyline_view = MatrixView.from_dict(skyline)
-        candidate_fids = sorted({fid for fid, _ in fbest.values()})
-        obest: dict[int, int] = {}
-        for fid in candidate_fids:
-            w = functions.effective_weights(fid)
-            obest[fid] = skyline_view.best_for(w)[0]
-
-        # (c) mutually-best pairs (Property 2).
-        stable = [
-            (fid, obest[fid], fbest[obest[fid]][1])
-            for fid in candidate_fids
-            if fbest[obest[fid]][0] == fid
-        ]
-        if not multi_pair:
-            # Algorithm 1: emit only the single globally best pair.
-            stable = [min(
-                stable,
-                key=lambda t: pair_key(
-                    t[2], functions.effective_weights(t[0]), t[0],
-                    objects.points[t[1]], t[1],
-                ),
-            )]
-
-        # (d) apply assignments; collect objects leaving the problem.
-        removed_objects: list[int] = []
-        for fid, oid, s in stable:
-            units, f_died, o_died = caps.assign(fid, oid)
-            matching.add(fid, oid, s, units)
-            if f_died:
-                lists.kill(fid)
-            if o_died:
-                removed_objects.append(oid)
-                dead = searches.pop(oid, None)
-                if dead is not None:
-                    ta_state_bytes -= dead.memory_bytes()
-                    mem.set_gauge("ta_states", ta_state_bytes)
-
-        # (e) skyline maintenance (Section 5.2 / Figure 8 ablation).
-        if removed_objects and not caps.exhausted:
-            skyline = manager.remove(removed_objects)
-
-    io = index.stats.delta_since(io_before)
-    stats = RunStats(
-        io=io,
-        cpu_seconds=time.perf_counter() - start,
-        peak_memory_bytes=mem.peak_bytes,
-        loops=loops,
-        counters={
-            "ta_sorted_accesses": counters.sorted_accesses,
-            "ta_random_accesses": counters.random_accesses,
-            "ta_restarts": counters.restarts,
-            "skyline_final_size": len(skyline),
-        },
+    config = sb_config(
+        variant,
+        omega_fraction=omega_fraction,
+        multi_pair=multi_pair,
+        biased=biased,
+        resume=resume,
+        maintenance=maintenance,
+        paged_function_lists=paged_function_lists,
     )
-    if paged_function_lists is not None:
-        stats.counters["function_list_reads"] = lists.stats.physical_reads
-        stats.counters["object_reads"] = io.physical_reads
-        io.physical_reads += lists.stats.physical_reads
-        io.logical_reads += lists.stats.logical_reads
-    return AssignmentResult(matching, stats)
+    return AssignmentEngine(config).run(functions, index)
 
 
 def sb_variants() -> Iterable[str]:

@@ -14,25 +14,19 @@ are identified from scratch for each version of the skyline").
 The object set is assumed memory-resident in this setting (build the
 index with ``memory=True``); the reported I/O is the function-list
 page traffic.
+
+Since the engine refactor the batch sweep lives in
+:class:`repro.engine.search.BatchTASearch`; this module is the thin
+``sb-alt`` strategy configuration.
 """
 
 from __future__ import annotations
 
-import time
-
-import numpy as np
-
-from repro.core.capacity import CapacityTracker
 from repro.core.index import ObjectIndex
-from repro.core.types import AssignmentResult, Matching, RunStats
-from repro.core.vectorized import MatrixView
+from repro.core.types import AssignmentResult
 from repro.data.instances import FunctionSet
-from repro.ordering import FunctionKey, function_key, pair_key
-from repro.scoring import SCORE_EPS, score
-from repro.skyline.maintenance import UpdateSkylineManager
-from repro.storage.stats import BYTES_PER_SCORE_ENTRY, MemoryTracker
-from repro.topk.knapsack import tight_threshold
-from repro.topk.sorted_lists import PagedCoefficientLists
+from repro.engine.configs import sb_alt_config
+from repro.engine.engine import AssignmentEngine
 
 
 def sb_alt_assign(
@@ -43,167 +37,5 @@ def sb_alt_assign(
 ) -> AssignmentResult:
     """Skyline-based assignment with batch best-pair search over
     disk-resident coefficient lists."""
-    start = time.perf_counter()
-    io_before = index.stats.snapshot()
-    mem = MemoryTracker()
-    matching = Matching()
-    caps = CapacityTracker(functions, index.objects)
-    objects = index.objects
-
-    if len(functions) == 0 or len(objects) == 0:
-        return AssignmentResult(matching, RunStats())
-
-    lists = PagedCoefficientLists(functions, page_size=page_size)
-    manager = UpdateSkylineManager(index.tree, mem)
-    skyline = manager.compute_initial()
-
-    loops = 0
-    batch_scans = 0
-    while not caps.exhausted and skyline and lists.n_alive > 0:
-        loops += 1
-        fbest = _batch_best_functions(lists, objects, sorted(skyline), mem)
-        batch_scans += 1
-        if not fbest:
-            break
-
-        skyline_view = MatrixView.from_dict(skyline)
-        candidate_fids = sorted({fid for fid, _ in fbest.values()})
-        obest: dict[int, int] = {}
-        for fid in candidate_fids:
-            w = functions.effective_weights(fid)
-            obest[fid] = skyline_view.best_for(w)[0]
-
-        stable = [
-            (fid, obest[fid], fbest[obest[fid]][1])
-            for fid in candidate_fids
-            if fbest[obest[fid]][0] == fid
-        ]
-        if not multi_pair:
-            stable = [min(
-                stable,
-                key=lambda t: pair_key(
-                    t[2], functions.effective_weights(t[0]), t[0],
-                    objects.points[t[1]], t[1],
-                ),
-            )]
-
-        removed_objects: list[int] = []
-        for fid, oid, s in stable:
-            units, f_died, o_died = caps.assign(fid, oid)
-            matching.add(fid, oid, s, units)
-            if f_died:
-                lists.kill(fid)
-            if o_died:
-                removed_objects.append(oid)
-        if removed_objects and not caps.exhausted:
-            skyline = manager.remove(removed_objects)
-
-    io = index.stats.delta_since(io_before)
-    # Function-list traffic is the dominant I/O in this setting.
-    io.physical_reads += lists.stats.physical_reads
-    io.logical_reads += lists.stats.logical_reads
-    stats = RunStats(
-        io=io,
-        cpu_seconds=time.perf_counter() - start,
-        peak_memory_bytes=mem.peak_bytes,
-        loops=loops,
-        counters={
-            "function_list_reads": lists.stats.physical_reads,
-            "object_reads": index.stats.delta_since(io_before).physical_reads,
-            "batch_scans": batch_scans,
-        },
-    )
-    return AssignmentResult(matching, stats)
-
-
-def _batch_best_functions(
-    lists: PagedCoefficientLists,
-    objects,
-    sky_oids: list[int],
-    mem: MemoryTracker,
-) -> dict[int, tuple[int, float]]:
-    """One batch TA pass: best alive function for every skyline object.
-
-    Round-robin block reads over the D lists; every newly encountered
-    alive function is random-accessed once and scored against all
-    still-active objects; an object retires once its incumbent strictly
-    beats its knapsack threshold.
-    """
-    dims = lists.dims
-    points = {oid: objects.points[oid] for oid in sky_oids}
-    positions = [0] * dims
-    bounds = [lists.initial_bound(d) for d in range(dims)]
-    seen: set[int] = set()
-    incumbents: dict[int, tuple[FunctionKey, int]] = {}
-    active = list(sky_oids)
-    budget = lists.max_alive_gamma()
-
-    # Vectorized view of the active objects; rebuilt when some retire.
-    active_matrix = np.asarray([points[oid] for oid in active])
-    inc_scores = np.full(len(active), -np.inf)
-
-    def exhausted() -> bool:
-        return all(positions[d] >= lists.length(d) for d in range(dims))
-
-    d = 0
-    while active and not exhausted():
-        # Read the next block of the next non-exhausted list.
-        for _ in range(dims):
-            if positions[d] < lists.length(d):
-                break
-            d = (d + 1) % dims
-        src = d
-        end = min(positions[d] + lists.entries_per_page, lists.length(d))
-        new_fids: list[int] = []
-        while positions[d] < end:
-            coef, fid = lists.entry(d, positions[d])  # charged sequentially
-            positions[d] += 1
-            bounds[d] = coef
-            if fid not in seen:
-                seen.add(fid)
-                if lists.is_alive(fid):
-                    new_fids.append(fid)
-        d = (d + 1) % dims
-
-        for fid in new_fids:
-            # Collect the *remaining* coefficients by random access on
-            # the other lists (charged); the values equal the
-            # in-memory effective weights.
-            for j in range(dims):
-                if j != src:
-                    lists.random_access(fid, j)
-            w = lists.effective_weights(fid)
-            # One matmul scores the function against every active
-            # object; only objects within the rounding band of their
-            # incumbent need exact canonical treatment.
-            approx = active_matrix @ lists.weights_np[fid]
-            for i in np.nonzero(approx >= inc_scores - SCORE_EPS)[0]:
-                oid = active[i]
-                s = score(w, points[oid])
-                key = function_key(s, w, fid)
-                cur = incumbents.get(oid)
-                if cur is None or key < cur[0]:
-                    incumbents[oid] = (key, fid)
-                    inc_scores[i] = s
-
-        # Retire objects whose incumbent beats the (updated) threshold.
-        keep = []
-        for i, oid in enumerate(active):
-            cur = incumbents.get(oid)
-            if cur is not None:
-                t = tight_threshold(bounds, points[oid], budget=budget)
-                if -cur[0][0] > t + SCORE_EPS:
-                    continue
-            keep.append(i)
-        if len(keep) != len(active):
-            active = [active[i] for i in keep]
-            active_matrix = active_matrix[keep]
-            inc_scores = inc_scores[keep]
-        mem.set_gauge(
-            "batch_incumbents", len(incumbents) * BYTES_PER_SCORE_ENTRY
-        )
-
-    return {
-        oid: (fid, -key[0])
-        for oid, (key, fid) in incumbents.items()
-    }
+    config = sb_alt_config(page_size=page_size, multi_pair=multi_pair)
+    return AssignmentEngine(config).run(functions, index)

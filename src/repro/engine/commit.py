@@ -1,0 +1,45 @@
+"""CommitPolicy strategy implementations.
+
+The capacitated/prioritized commit itself (consume ``min`` capacity,
+record units, detect deaths — Section 6.1's batched Lines 15–17) is
+engine-owned; a policy only decides *which* of the round's mutually-
+best pairs are handed to it.
+"""
+
+from __future__ import annotations
+
+from repro.engine.engine import EngineContext
+from repro.engine.protocols import StablePair
+from repro.ordering import pair_key
+
+
+class MultiPairCommit:
+    """Commit every mutually-best pair of the round (Section 5.3)."""
+
+    def __init__(self, ctx: EngineContext):
+        del ctx
+
+    def select(self, stable: list[StablePair]) -> list[StablePair]:
+        return stable
+
+
+class SinglePairCommit:
+    """Commit only the canonically best pair (Algorithm 1's one pair
+    per loop; the ``multi_pair=False`` ablation)."""
+
+    def __init__(self, ctx: EngineContext):
+        self._functions = ctx.functions
+        self._objects = ctx.objects
+
+    def select(self, stable: list[StablePair]) -> list[StablePair]:
+        return [min(
+            stable,
+            key=lambda t: pair_key(
+                t[2], self._functions.effective_weights(t[0]), t[0],
+                self._objects.points[t[1]], t[1],
+            ),
+        )]
+
+
+def build_commit_policy(ctx: EngineContext, multi_pair: bool):
+    return MultiPairCommit(ctx) if multi_pair else SinglePairCommit(ctx)

@@ -1,0 +1,213 @@
+"""RoundStrategy implementations.
+
+:class:`MutualBestRound` is the canonical skyline-driven round shared
+by SB, its ablations, SB-alt and the two-skyline variant: a pluggable
+:class:`~repro.engine.protocols.BestPairSearch` produces the best
+alive function of every skyline object, a vectorized canonical scan
+of the skyline produces the best object of every candidate function,
+and their intersection — the mutually-best pairs of Property 2 — is
+handed to the engine's commit step.
+
+:class:`ChainRound` adapts Wong et al.'s Chain to the same loop: one
+propose() call is one step of the mutual top-1 chase (Property 1),
+emitting a pair when the chase closes and an empty proposal when it
+merely enqueues the counterpart.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.vectorized import MatrixView
+from repro.engine.engine import EngineContext
+from repro.engine.instrumentation import fold_auxiliary_io
+from repro.engine.protocols import (
+    BestPairSearch,
+    RoundStrategy,
+    SkylineState,
+    StablePair,
+)
+from repro.rtree.store import MemoryNodeStore
+from repro.rtree.tree import RTree
+from repro.scoring import score
+from repro.storage.stats import BYTES_PER_HEAP_ENTRY
+from repro.topk.brs import BRSSearch
+
+
+class MutualBestRound(RoundStrategy):
+    """fbest ∩ obest over the object skyline (Algorithm 3's Lines 5–12)."""
+
+    def __init__(self, ctx: EngineContext, search: BestPairSearch):
+        self.ctx = ctx
+        self.search = search
+
+    def propose(self, skyline: SkylineState) -> list[StablePair] | None:
+        # (a) best alive function of every skyline object (strategy).
+        fbest = self.search.best_functions(skyline)
+        if not fbest:
+            return None
+
+        # (b) best skyline object of every candidate function
+        #     (vectorized canonical scan of the in-memory skyline).
+        skyline_view = MatrixView.from_dict(skyline)
+        candidate_fids = sorted({fid for fid, _ in fbest.values()})
+        obest: dict[int, int] = {}
+        for fid in candidate_fids:
+            w = self.ctx.functions.effective_weights(fid)
+            obest[fid] = skyline_view.best_for(w)[0]
+
+        # (c) mutually-best pairs (Property 2).
+        return [
+            StablePair(fid, obest[fid], fbest[obest[fid]][1])
+            for fid in candidate_fids
+            if fbest[obest[fid]][0] == fid
+        ]
+
+    def on_pair_committed(
+        self, fid: int, oid: int, units: int, f_died: bool, o_died: bool
+    ) -> None:
+        if f_died:
+            self.search.on_function_dead(fid)
+        if o_died:
+            self.search.on_object_dead(oid)
+
+    def on_round_end(self, dead_fids: list[int]) -> None:
+        self.search.on_round_end(dead_fids)
+
+    def finalize(self, stats, skyline) -> None:
+        self.search.finalize(stats, skyline)
+
+
+class ChainRound(RoundStrategy):
+    """Mutual top-1 chasing over two R-trees (the adapted Chain of [25]).
+
+    The functions are indexed by a main-memory (or simulated-disk)
+    R-tree on their effective weights; objects answer "best function"
+    queries through the function tree and functions answer "best
+    object" queries through the object tree, both via fresh BRS top-1
+    searches — Chain cannot resume searches, which is precisely why
+    the paper measures it as the most expensive method.
+    """
+
+    def __init__(self, ctx: EngineContext, disk_function_tree: bool = False):
+        self.ctx = ctx
+        functions = ctx.functions
+        self.disk_function_tree = disk_function_tree
+
+        # R-tree over the (γ-scaled) function weights; its construction
+        # is part of Chain's CPU cost (Section 7).  Assigned functions
+        # are physically deleted, as in the original algorithm.
+        dims = functions.dims
+        if disk_function_tree:
+            from repro.rtree.store import DiskNodeStore
+
+            self.fn_store = DiskNodeStore(dims, page_size=4096, buffer_capacity=0)
+        else:
+            self.fn_store = MemoryNodeStore(dims, page_size=4096)
+        self.fn_tree = RTree.bulk_load(
+            self.fn_store, dims,
+            [(fid, functions.effective_weights(fid))
+             for fid in range(len(functions))],
+        )
+        if disk_function_tree:
+            self.fn_store.set_buffer_fraction(0.02)
+            self.fn_store.buffer.clear()
+            self.fn_store.stats.reset()
+
+        self.assigned_objects: set[int] = set()
+        self.pending: deque[tuple[str, int]] = deque()
+        self.next_seed = 0
+        self.top1_searches = 0
+
+    def propose(self, skyline: SkylineState) -> list[StablePair] | None:
+        ctx = self.ctx
+        caps = ctx.caps
+        ctx.mem.set_gauge(
+            "chain_queue", len(self.pending) * BYTES_PER_HEAP_ENTRY
+        )
+        if self.pending:
+            side, ident = self.pending.popleft()
+            if side == "f" and not caps.function_alive(ident):
+                return []
+            if side == "o" and not caps.object_alive(ident):
+                return []
+        else:
+            while (self.next_seed < len(ctx.functions)
+                   and not caps.function_alive(self.next_seed)):
+                self.next_seed += 1
+            if self.next_seed >= len(ctx.functions):
+                return None
+            side, ident = "f", self.next_seed
+
+        if side == "f":
+            found = self._top1_object(ident)
+            if found is None:
+                return None  # no objects left at all
+            oid, _s = found
+            back = self._top1_function(oid)
+            if back == ident:
+                return [self._pair(ident, oid)]
+            self.pending.append(("o", oid))
+            return []
+        back_fid = self._top1_function(ident)
+        if back_fid is None:
+            return None  # no functions left at all
+        found = self._top1_object(back_fid)
+        if found is not None and found[0] == ident:
+            return [self._pair(back_fid, ident)]
+        self.pending.append(("f", back_fid))
+        return []
+
+    def on_pair_committed(
+        self, fid: int, oid: int, units: int, f_died: bool, o_died: bool
+    ) -> None:
+        if o_died:
+            self.assigned_objects.add(oid)
+        else:
+            self.pending.append(("o", oid))
+        if f_died:
+            self.fn_tree.delete(fid, self.ctx.functions.effective_weights(fid))
+        else:
+            self.pending.append(("f", fid))
+
+    def finalize(self, stats, skyline) -> None:
+        stats.counters["top1_searches"] = self.top1_searches
+        stats.counters["fn_tree_accesses"] = self.fn_store.stats.logical_reads
+        if self.disk_function_tree:
+            fold_auxiliary_io(stats, self.fn_store.stats, "function_tree_reads")
+
+    # -- internals ----------------------------------------------------------
+
+    def _pair(self, fid: int, oid: int) -> StablePair:
+        s = score(
+            self.ctx.functions.effective_weights(fid),
+            self.ctx.objects.points[oid],
+        )
+        return StablePair(fid, oid, s)
+
+    def _top1_object(self, fid: int) -> tuple[int, float] | None:
+        """Best remaining object for a function (fresh BRS search)."""
+        self.top1_searches += 1
+        search = BRSSearch(
+            self.ctx.index.tree,
+            self.ctx.functions.effective_weights(fid),
+            self.assigned_objects,
+        )
+        result = search.next()
+        self.ctx.mem.set_gauge("chain_search", search.memory_bytes())
+        if result is None:
+            return None
+        oid, _point, s = result
+        return oid, s
+
+    def _top1_function(self, oid: int) -> int | None:
+        """Best remaining function for an object (fresh BRS search on
+        the function tree; weights and points swap roles)."""
+        self.top1_searches += 1
+        search = BRSSearch(self.fn_tree, self.ctx.objects.points[oid])
+        result = search.next()
+        self.ctx.mem.set_gauge("chain_search", search.memory_bytes())
+        if result is None:
+            return None
+        fid, _weights, _s = result
+        return fid

@@ -35,11 +35,20 @@ def dominates_on_or_equal(p: Sequence[float], q: Sequence[float]) -> bool:
     return all(a >= b for a, b in zip(p, q))
 
 
-def sky_key_point(p: Sequence[float]) -> float:
-    """BBS priority of a point: ascending order == closest to the sky
-    point first.  ``-sum(p)`` orders identically to the paper's L1
-    distance from the top corner and needs no normalization bounds."""
-    return -sum(p)
+def sky_key_point(p: Sequence[float]) -> tuple:
+    """Dominance-consistent BBS/SFS priority of a best corner.
+
+    Ascending order == closest to the sky point first: ``-sum(p)``
+    orders identically to the paper's L1 distance from the top corner
+    and needs no normalization bounds.  Float addition is monotone, so
+    a dominator's sum is never *below* its dominated point's — but it
+    can *tie* (e.g. ``0.25 + 2.5e-33`` rounds to ``0.25``), and a
+    sum-only key would then let insertion order confirm the dominated
+    point first.  The lexicographic tiebreak on negated coordinates
+    settles exact sum ties toward the dominator, preserving the
+    invariant every sorted/heap-ordered skyline pass relies on: a
+    point is processed strictly before everything it dominates."""
+    return (-sum(p), tuple(-c for c in p))
 
 
 class Rect:
@@ -115,9 +124,9 @@ class Rect:
     def center(self) -> Point:
         return tuple((a + b) / 2.0 for a, b in zip(self.lo, self.hi))
 
-    def sky_key(self) -> float:
+    def sky_key(self) -> tuple:
         """BBS priority: the rect's best corner is its upper corner."""
-        return -sum(self.hi)
+        return sky_key_point(self.hi)
 
     def maxscore(self, weights: Sequence[float]) -> float:
         """Upper bound of ``sum(w_i * x_i)`` over points in the rect

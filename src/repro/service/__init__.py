@@ -1,0 +1,24 @@
+"""Batched solve service — many assignment workloads, one harness.
+
+The first serving layer on the road to the ROADMAP's heavy-traffic
+story: :class:`~repro.service.batch.BatchSolver` accepts many
+(FunctionSet, ObjectSet) jobs, reuses built object R-trees across
+jobs through an instance-hash cache, runs the jobs on a worker pool
+and returns per-job :class:`~repro.core.types.AssignmentResult`\\ s.
+"""
+
+from repro.service.batch import (
+    BatchSolver,
+    JobResult,
+    ObjectIndexCache,
+    SolveJob,
+    object_set_fingerprint,
+)
+
+__all__ = [
+    "BatchSolver",
+    "JobResult",
+    "ObjectIndexCache",
+    "SolveJob",
+    "object_set_fingerprint",
+]

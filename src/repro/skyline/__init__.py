@@ -18,6 +18,11 @@ Index-based computation and maintenance (the paper's substrate):
   constrained BBS, the maintenance baseline of Figure 8;
 - :mod:`repro.skyline.edr` — exclusive-dominance-region decomposition
   (used for verification).
+
+All three maintenance managers (UpdateSkyline, DeltaSky, in-memory
+plists) share the ``compute_initial()`` / ``remove()`` surface and
+plug into the engine's
+:class:`repro.engine.protocols.SkylineMaintenance` strategy seam.
 """
 
 from repro.skyline.bbs import bbs_skyline

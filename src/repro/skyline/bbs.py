@@ -1,7 +1,9 @@
 """Branch-and-Bound Skyline (BBS) over the R-tree [Papadias et al.].
 
 BBS pops heap entries in ascending distance from the sky point (we use
-the equivalent key ``-sum(best corner)``); a popped point that is not
+the equivalent key ``-sum(best corner)``, with a lexicographic
+tiebreak that keeps the order dominance-consistent when float
+rounding ties the sums — see ``sky_key_point``); a popped point that is not
 dominated by the current skyline is a confirmed skyline member, a
 popped node that is not dominated is expanded (one page access).  BBS
 is I/O optimal: it reads exactly the nodes not dominated by the
@@ -23,7 +25,7 @@ import heapq
 import itertools
 from collections.abc import Iterable
 
-from repro.rtree.geometry import Point, Rect, dominates
+from repro.rtree.geometry import Point, Rect, dominates, sky_key_point
 from repro.rtree.tree import RTree
 from repro.skyline.dominance import DominanceIndex
 from repro.storage.stats import (
@@ -44,9 +46,10 @@ def entry_corner(entry: Entry) -> Point:
     return payload.hi if kind == NODE else payload
 
 
-def entry_key(entry: Entry) -> float:
-    """Heap priority (ascending == nearest to the sky point first)."""
-    return -sum(entry_corner(entry))
+def entry_key(entry: Entry) -> tuple:
+    """Heap priority (ascending == nearest to the sky point first;
+    dominance-consistent on float-tied sums, see ``sky_key_point``)."""
+    return sky_key_point(entry_corner(entry))
 
 
 def find_dominator(skyline: dict[int, Point], corner: Point) -> int | None:
@@ -130,10 +133,12 @@ class BBSEngine:
                 node = self.tree.store.read_node(ident)  # the page access
                 if node.is_leaf:
                     for oid, p in node.entries:
-                        push(heap, (-sum(p), next(self._seq), (POINT, oid, p)))
+                        push(heap, (sky_key_point(p), next(self._seq),
+                                    (POINT, oid, p)))
                 else:
                     for cid, mbr in node.entries:
-                        push(heap, (-sum(mbr.hi), next(self._seq), (NODE, cid, mbr)))
+                        push(heap, (sky_key_point(mbr.hi), next(self._seq),
+                                    (NODE, cid, mbr)))
             else:
                 self.skyline[ident] = payload
                 self.dom.add(ident, payload)

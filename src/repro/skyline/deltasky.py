@@ -17,7 +17,7 @@ from collections.abc import Iterable
 
 import numpy as np
 
-from repro.rtree.geometry import Point, dominates
+from repro.rtree.geometry import Point, dominates, sky_key_point
 from repro.rtree.tree import RTree
 from repro.skyline.bbs import bbs_skyline
 from repro.skyline.dominance import DominanceIndex
@@ -69,7 +69,9 @@ class DeltaSkyManager:
         for _, point_removed in removed_points:
             self._constrained_search(point_removed, candidates)
 
-        for oid, p in sorted(candidates.items(), key=lambda it: (-sum(it[1]), it[0])):
+        for oid, p in sorted(
+            candidates.items(), key=lambda it: (sky_key_point(it[1]), it[0])
+        ):
             if self._dom.find_dominator(p) is None:
                 self.skyline[oid] = p
                 self._dom.add(oid, p)

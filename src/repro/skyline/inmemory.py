@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
-from repro.rtree.geometry import dominates
+from repro.rtree.geometry import dominates, sky_key_point
 
 Vector = tuple[float, ...]
 
@@ -24,9 +24,12 @@ class InMemorySkylineManager:
     def __init__(self, items: Sequence[tuple[int, Vector]]):
         self.skyline: dict[int, Vector] = {}
         self._plists: dict[int, list[tuple[int, Vector]]] = {}
-        # Sum-descending order is dominance-monotone, so dominators are
-        # placed before the items they dominate (SFS-style).
-        for ident, vec in sorted(items, key=lambda it: (-sum(it[1]), it[0])):
+        # Dominance-monotone order (strict even under float sum ties),
+        # so dominators are placed before the items they dominate
+        # (SFS-style).
+        for ident, vec in sorted(
+            items, key=lambda it: (sky_key_point(it[1]), it[0])
+        ):
             owner = self._find_dominator(vec)
             if owner is None:
                 self.skyline[ident] = vec
@@ -36,6 +39,12 @@ class InMemorySkylineManager:
 
     def __len__(self) -> int:
         return len(self.skyline)
+
+    def compute_initial(self) -> dict[int, Vector]:
+        """The initial skyline (already computed eagerly on
+        construction) — aligns this manager with the engine's
+        :class:`repro.engine.protocols.SkylineMaintenance` protocol."""
+        return self.skyline
 
     def _find_dominator(self, vec: Vector) -> int | None:
         best: int | None = None
@@ -56,7 +65,9 @@ class InMemorySkylineManager:
 
         # Promote in dominance-monotone order so orphan-vs-orphan
         # domination resolves correctly.
-        for ident, vec in sorted(orphans, key=lambda it: (-sum(it[1]), it[0])):
+        for ident, vec in sorted(
+            orphans, key=lambda it: (sky_key_point(it[1]), it[0])
+        ):
             owner = self._find_dominator(vec)
             if owner is None:
                 self.skyline[ident] = vec

@@ -20,7 +20,7 @@ from collections.abc import Sequence
 import heapq
 import itertools
 
-from repro.rtree.geometry import Point, dominates
+from repro.rtree.geometry import Point, dominates, sky_key_point
 from repro.rtree.tree import RTree
 
 
@@ -63,11 +63,13 @@ def bbs_kskyband(tree: RTree, k: int) -> dict[int, Point]:
     def push_node(node) -> None:
         if node.is_leaf:
             for oid, p in node.entries:
-                heapq.heappush(heap, (-sum(p), next(seq), True, oid, p))
+                heapq.heappush(
+                    heap, (sky_key_point(p), next(seq), True, oid, p)
+                )
         else:
             for cid, mbr in node.entries:
                 heapq.heappush(
-                    heap, (-sum(mbr.hi), next(seq), False, cid, mbr)
+                    heap, (sky_key_point(mbr.hi), next(seq), False, cid, mbr)
                 )
 
     def dominator_count(corner: Point) -> int:

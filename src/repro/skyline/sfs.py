@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.rtree.geometry import dominates
+from repro.rtree.geometry import dominates, sky_key_point
 
 Point = tuple[float, ...]
 
@@ -36,8 +36,9 @@ def sfs_skyline_with_stats(
 def _scan(
     items: Sequence[tuple[int, Point]], result: dict[int, Point]
 ) -> tuple[dict[int, Point], int]:
-    # Sum is dominance-monotone: p dominates q  =>  sum(p) > sum(q).
-    ordered = sorted(items, key=lambda it: (-sum(it[1]), it[0]))
+    # Dominance-monotone order: a dominator sorts strictly before the
+    # points it dominates even when float rounding ties the sums.
+    ordered = sorted(items, key=lambda it: (sky_key_point(it[1]), it[0]))
     skyline_points: list[Point] = []
     best_min = float("-inf")  # max over skyline of min coordinate
     examined = 0

@@ -26,6 +26,11 @@ and the canonical :func:`repro.ordering.function_key`, and termination
 requires the incumbent to *strictly* beat ``Ttight`` (with the
 :data:`SCORE_EPS` margin for the threshold's different summation
 order), so results are canonical-exact regardless of batching.
+
+Solvers consume these searches through the engine's
+:class:`repro.engine.search.ReverseTASearch` strategy (the
+``BestPairSearch`` seam), which owns per-object search state,
+resumption and the Ω/biased/fresh toggles.
 """
 
 from __future__ import annotations

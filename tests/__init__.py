@@ -1,0 +1,7 @@
+"""Test package marker.
+
+Makes ``tests`` an importable package so test modules can do
+``from .conftest import ...`` regardless of pytest's import mode or
+rootdir — without this, package-relative imports fail at collection
+time under the default ``prepend`` import mode.
+"""

@@ -1,0 +1,139 @@
+"""The batched solve service: worker-pool execution, index-cache
+reuse, and per-job result fidelity."""
+
+import pytest
+
+from repro import BatchSolver, SolveJob, build_object_index, solve
+from repro.core.reference import greedy_assign
+from repro.data.instances import ObjectSet
+from repro.service import ObjectIndexCache, object_set_fingerprint
+
+from .conftest import random_instance
+
+
+def make_jobs(n_catalogues=4, cohorts_per_catalogue=2):
+    """n_catalogues distinct object sets, each matched against several
+    function cohorts — the index-reuse workload."""
+    jobs = []
+    for c in range(n_catalogues):
+        _, objects = random_instance(1, 25 + c, 3, seed=100 + c)
+        for k in range(cohorts_per_catalogue):
+            functions, _ = random_instance(8 + k, 1, 3, seed=200 + 10 * c + k)
+            jobs.append(SolveJob(
+                functions=functions,
+                objects=objects,
+                method="sb",
+                job_id=f"cat{c}-cohort{k}",
+                page_size=512,
+            ))
+    return jobs
+
+
+def test_batch_of_eight_jobs_with_cache_hits():
+    """≥ 8 jobs through the pool: every result matches a standalone
+    solve, and each repeated catalogue hits the index cache."""
+    jobs = make_jobs(n_catalogues=4, cohorts_per_catalogue=2)
+    assert len(jobs) == 8
+    solver = BatchSolver(max_workers=8)
+    results = solver.solve_many(jobs)
+
+    assert [r.job_id for r in results] == [j.job_id for j in jobs]
+    for job, res in zip(jobs, results):
+        expected = greedy_assign(job.functions, job.objects).matching.as_dict()
+        assert res.matching.as_dict() == expected, res.job_id
+
+    info = solver.cache_info()
+    assert info["misses"] == 4  # one build per distinct catalogue
+    assert info["hits"] == 4    # every second cohort reuses the index
+    assert info["entries"] == 4
+
+
+def test_jobs_run_concurrently():
+    """The pool genuinely overlaps jobs on distinct catalogues."""
+    jobs = make_jobs(n_catalogues=8, cohorts_per_catalogue=1)
+    solver = BatchSolver(max_workers=8)
+    solver.solve_many(jobs)
+    assert solver.peak_concurrency >= 2
+
+
+def test_mixed_methods_share_one_catalogue():
+    fs, os_ = random_instance(9, 30, 3, seed=17, capacities=True)
+    ref = greedy_assign(fs, os_).matching.as_dict()
+    jobs = [
+        SolveJob(functions=fs, objects=os_, method=m, job_id=m)
+        for m in ("sb", "sb-update", "sb-two-skylines", "chain", "sb-alt")
+    ]
+    solver = BatchSolver(max_workers=4)
+    results = solver.solve_many(jobs)
+    for res in results:
+        assert res.matching.as_dict() == ref, res.method
+    # sb-alt wants a memory-resident object tree, so it builds its own
+    # index; the other four share one disk-simulated index.
+    assert solver.cache_info() == {"hits": 3, "misses": 2, "entries": 2}
+
+
+def test_structurally_equal_object_sets_share_fingerprint():
+    _, a = random_instance(1, 20, 3, seed=33)
+    b = ObjectSet(list(a.points), capacities=None)
+    assert a is not b
+    assert object_set_fingerprint(a) == object_set_fingerprint(b)
+    c = ObjectSet(list(a.points), capacities=[2] * len(a))
+    assert object_set_fingerprint(a) != object_set_fingerprint(c)
+
+
+def test_fingerprint_distinguishes_shape():
+    """Same raw coordinate bytes, different catalogue shape: a 6x2 and
+    a 4x3 object set must not share a cached index."""
+    flat = [float(i) / 12 for i in range(12)]
+    six_by_two = ObjectSet([tuple(flat[i:i + 2]) for i in range(0, 12, 2)])
+    four_by_three = ObjectSet([tuple(flat[i:i + 3]) for i in range(0, 12, 3)])
+    assert (object_set_fingerprint(six_by_two)
+            != object_set_fingerprint(four_by_three))
+
+
+def test_cache_rebuild_after_eviction():
+    cache = ObjectIndexCache(max_entries=2)
+    sets = [random_instance(1, 10 + i, 2, seed=50 + i)[1] for i in range(3)]
+    for os_ in sets:
+        cache.get(os_, 512, False)
+    assert cache.info() == {"hits": 0, "misses": 3, "entries": 2}
+    # The oldest entry was evicted; asking again rebuilds it.
+    _, _, hit = cache.get(sets[0], 512, False)
+    assert not hit
+    # The newest entry is still cached.
+    _, _, hit = cache.get(sets[2], 512, False)
+    assert hit
+
+
+def test_solve_kwargs_and_stats_surface():
+    fs, os_ = random_instance(10, 15, 3, seed=61)
+    job = SolveJob(
+        functions=fs, objects=os_, method="sb",
+        memory_index=True, solve_kwargs={"paged_function_lists": 128},
+    )
+    res = BatchSolver().solve_one(job)
+    assert res.job_id == "job-0"
+    assert res.stats.counters["function_list_reads"] > 0
+    assert res.wall_seconds > 0
+    idx = build_object_index(os_, memory=True)
+    standalone = solve(fs, idx, method="sb", paged_function_lists=128)
+    assert res.matching.as_dict() == standalone.matching.as_dict()
+
+
+def test_engine_config_method_gets_memory_index():
+    """An EngineConfig method is recognized by name: an sb-alt config
+    auto-selects the memory-resident object tree (Section 7.6), so no
+    object-tree page reads leak into the reported I/O."""
+    from repro.engine import engine_config
+
+    fs, os_ = random_instance(10, 15, 3, seed=71)
+    job = SolveJob(functions=fs, objects=os_, method=engine_config("sb-alt"))
+    assert job.wants_memory_index
+    res = BatchSolver().solve_one(job)
+    assert res.method == "sb-alt"
+    assert res.stats.counters["object_reads"] == 0
+    assert res.matching.as_dict() == greedy_assign(fs, os_).matching.as_dict()
+
+
+def test_empty_batch():
+    assert BatchSolver().solve_many([]) == []

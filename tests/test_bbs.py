@@ -40,6 +40,17 @@ def test_bbs_property_2d(pts):
     assert bbs_skyline(tree) == naive_skyline(items)
 
 
+def test_bbs_sum_tie_with_dominance():
+    """Float rounding can tie the heap keys of a dominator and a point
+    it dominates (``0.25 + 2.5e-33 == 0.25``); the lexicographic
+    tiebreak of ``sky_key_point`` must still confirm only the
+    dominator (hypothesis-found regression)."""
+    pts = [(0.25, 0.0), (0.25, 2.4833442227593797e-33)]
+    items = list(enumerate(pts))
+    tree, _ = build_tree(items, 2)
+    assert bbs_skyline(tree) == naive_skyline(items) == {1: pts[1]}
+
+
 def test_bbs_empty_tree():
     store = DiskNodeStore(2, page_size=256)
     tree = RTree.bulk_load(store, 2, [])

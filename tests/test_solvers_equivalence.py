@@ -129,6 +129,24 @@ class TestEdgeCases:
         assert m.num_units == 2
 
 
+@pytest.mark.parametrize("dims", [2, 3])
+def test_engine_configs_match_pre_refactor_oracles(dims):
+    """The engine-backed named configs reproduce the pre-refactor
+    oracle results (greedy + Gale-Shapley) — the refactor's
+    bit-identical-output guarantee, asserted per config."""
+    from repro.engine import ENGINE_CONFIGS, engine_config
+
+    fs, os_ = random_instance(
+        10, 24, dims, seed=dims + 50, capacities=True, priorities=True
+    )
+    ref = greedy_assign(fs, os_).matching.as_dict()
+    assert gale_shapley_assign(fs, os_).matching.as_dict() == ref
+    for name in sorted(ENGINE_CONFIGS):
+        idx = build_object_index(os_, page_size=512, memory=(name == "sb-alt"))
+        got = solve(fs, idx, method=engine_config(name)).matching
+        assert got.as_dict() == ref, f"engine config {name} diverged"
+
+
 # Hypothesis: full random instances, all solvers, moderate sizes.
 inst = st.builds(
     random_instance,
