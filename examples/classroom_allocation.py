@@ -5,10 +5,10 @@ The paper's second motivating scenario: before each semester,
 instructors declare preferences over classroom capacity, location,
 equipment and acoustics, and a central system computes a fair
 assignment.  This example runs the same instance through SB, Brute
-Force and Chain via the :class:`repro.BatchSolver` service — the room
-catalogue's R-tree is built once and shared across all three jobs
-through the instance-hash index cache — verifies they agree, and
-prints the cost comparison that motivates the paper (orders of
+Force and Chain via one :class:`repro.api.AssignmentSession` — the
+room catalogue's R-tree is built once and shared across all three
+solves through the instance-hash index cache — verifies they agree,
+and prints the cost comparison that motivates the paper (orders of
 magnitude of I/O).
 
 Run:  python examples/classroom_allocation.py
@@ -16,7 +16,8 @@ Run:  python examples/classroom_allocation.py
 
 import numpy as np
 
-from repro import BatchSolver, FunctionSet, ObjectSet, SolveJob
+from repro import FunctionSet, ObjectSet
+from repro.api import AssignmentSession, Problem
 
 RNG = np.random.default_rng(7)
 
@@ -45,18 +46,18 @@ def main() -> None:
     rooms = make_rooms()
     instructors = make_instructors()
 
-    solver = BatchSolver(max_workers=3)
-    jobs = [
-        SolveJob(functions=instructors, objects=rooms, method=method,
-                 job_id=method)
-        for method in ("sb", "brute-force", "chain")
-    ]
-    results = {r.job_id: r.result for r in solver.solve_many(jobs)}
+    methods = ("sb", "brute-force", "chain")
+    base = Problem.from_sets(rooms, instructors, method="sb")
+    with AssignmentSession(base, max_workers=3) as session:
+        solutions = session.solve_many(
+            [base.with_method(method) for method in methods]
+        )
+        cache = session.cache_info()
+    results = dict(zip(methods, solutions))
 
-    reference = results["sb"].matching.as_dict()
-    for method, result in results.items():
-        assert result.matching.as_dict() == reference, method
-    cache = solver.cache_info()
+    reference = results["sb"].as_dict()
+    for method, solution in results.items():
+        assert solution.as_dict() == reference, method
     print(f"All three algorithms agree on the same stable assignment "
           f"of {len(reference)} rooms.")
     print(f"The room R-tree was built once and reused: "
@@ -64,8 +65,8 @@ def main() -> None:
 
     print(f"{'method':14s} {'page reads':>12s} {'CPU (s)':>9s} "
           f"{'peak mem (KiB)':>15s} {'loops':>7s}")
-    for method, result in results.items():
-        s = result.stats
+    for method, solution in results.items():
+        s = solution.stats
         print(f"{method:14s} {s.io_accesses:12d} {s.cpu_seconds:9.2f} "
               f"{s.peak_memory_bytes / 1024:15.0f} {s.loops:7d}")
 

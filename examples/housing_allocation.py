@@ -13,7 +13,8 @@ Run:  python examples/housing_allocation.py
 
 import numpy as np
 
-from repro import FunctionSet, ObjectSet, build_object_index, solve
+from repro import FunctionSet, ObjectSet
+from repro.api import AssignmentSession, Problem
 from repro.data.real import zillow_like
 
 RNG = np.random.default_rng(1054)
@@ -50,20 +51,22 @@ def main() -> None:
     print(f"{N_APPLICANTS} applicants, {N_LISTINGS} listings "
           f"({stock.total_capacity} units total).")
 
-    index = build_object_index(stock, buffer_fraction=0.02)
-    matching, stats = solve(applicants, index, method="sb")
+    problem = Problem.from_sets(stock, applicants, buffer_fraction=0.02)
+    with AssignmentSession(problem) as session:
+        solution = session.solve()
+    stats = solution.stats
 
-    print(f"\nAll {matching.num_units} applicants housed via "
-          f"{len(matching.pairs)} (applicant, listing) pairs.")
+    print(f"\nAll {solution.num_units} applicants housed via "
+          f"{len(solution.pairs)} (applicant, listing) pairs.")
 
     scores = sorted(
-        (p.score for p in matching.pairs for _ in range(p.count)), reverse=True
+        (p.score for p in solution.pairs for _ in range(p.count)), reverse=True
     )
     print(f"Satisfaction: best {scores[0]:.3f}, "
           f"median {scores[len(scores) // 2]:.3f}, worst {scores[-1]:.3f}.")
 
     # Which attributes did the best-served applicants care about?
-    top = matching.pairs[0]
+    top = solution.pairs[0]
     w = applicants.weights[top.fid]
     fav = max(range(5), key=lambda i: w[i])
     print(f"First assignment: applicant {top.fid} "

@@ -13,7 +13,8 @@ Run:  python examples/internship_assignment.py
 
 import numpy as np
 
-from repro import FunctionSet, ObjectSet, build_object_index, solve
+from repro import FunctionSet, ObjectSet
+from repro.api import AssignmentSession, Problem
 
 RNG = np.random.default_rng(2009)
 
@@ -52,21 +53,23 @@ def main() -> None:
     positions, company_names = make_positions()
     students, student_names = make_students()
 
-    index = build_object_index(positions)
-    matching, stats = solve(students, index, method="sb")
+    problem = Problem.from_sets(positions, students, method="sb")
+    with AssignmentSession(problem) as session:
+        solution = session.solve().verify()
+    stats = solution.stats
 
-    print(f"{matching.num_units} of {N_STUDENTS} students placed across "
-          f"{len(matching.pairs)} (student, company) pairs.\n")
+    print(f"{solution.num_units} of {N_STUDENTS} students placed across "
+          f"{len(solution.pairs)} (student, company) pairs.\n")
 
     print("First ten assignments in stable order:")
-    for pair in matching.pairs[:10]:
+    for pair in solution.pairs[:10]:
         print(f"  {student_names[pair.fid]:26s} -> {company_names[pair.oid]}"
               f"   score {pair.score:.3f}")
 
     # Seniority should visibly pay off: compare mean raw (un-scaled)
     # satisfaction by year.
     year_scores: dict[int, list[float]] = {1: [], 2: [], 3: [], 4: []}
-    for pair in matching.pairs:
+    for pair in solution.pairs:
         year = int(students.gamma(pair.fid))
         raw = pair.score / students.gamma(pair.fid)
         year_scores[year].extend([raw] * pair.count)

@@ -1,15 +1,20 @@
 #!/usr/bin/env python3
-"""Quickstart: the paper's Figure 1 internship example.
+"""Quickstart: the paper's Figure 1 internship example, on `repro.api`.
 
 Three students express preferences over salary (X) and company
 standing (Y); four internship positions are on offer.  The fair
 assignment is the stable matching: the (student, position) pair with
 the highest score is fixed first, then the next, and so on.
 
+The public surface is three objects: an immutable ``Problem`` (built
+fluently, JSON-serializable), an ``AssignmentSession`` (owns the
+object index, solves, accepts churn events), and a ``Solution``
+(O(1) partner lookups, stability certification, diffs).
+
 Run:  python examples/quickstart.py
 """
 
-from repro import FunctionSet, ObjectSet, build_object_index, solve
+from repro.api import AssignmentSession, ObjectDeparted, Problem
 
 POSITIONS = {
     "a": (0.5, 0.6),
@@ -29,27 +34,56 @@ def main() -> None:
     position_names = list(POSITIONS)
     student_names = list(STUDENTS)
 
-    objects = ObjectSet(list(POSITIONS.values()))
-    functions = FunctionSet(list(STUDENTS.values()))
+    problem = (
+        Problem.builder()
+        .add_objects(list(POSITIONS.values()))
+        .add_functions(list(STUDENTS.values()))
+        .solver("sb")
+        .build()
+    )
 
-    index = build_object_index(objects)
-    matching, stats = solve(functions, index, method="sb")
+    # Problems are values: they cross process boundaries as JSON.
+    assert Problem.from_json(problem.to_json()) == problem
 
-    print("Stable internship assignment (paper Figure 1):")
-    for pair in matching.pairs:
-        student = student_names[pair.fid]
-        position = position_names[pair.oid]
-        print(f"  {student:22s} -> position {position}   score {pair.score:.2f}")
+    with AssignmentSession(problem) as session:
+        solution = session.solve().verify()  # certified stable
 
-    print(f"\nPairs found over {stats.loops} loop(s), "
-          f"{stats.io_accesses} page read(s).")
+        print("Stable internship assignment (paper Figure 1):")
+        for pair in solution:
+            student = student_names[pair.fid]
+            position = position_names[pair.oid]
+            print(
+                f"  {student:22s} -> position {position}   "
+                f"score {pair.score:.2f}"
+            )
+        stats = solution.stats
+        print(
+            f"\nPairs found over {stats.loops} loop(s), "
+            f"{stats.io_accesses} page read(s)."
+        )
 
-    # The paper's walk-through: c goes to f1 (score 0.68), then b to
-    # f2, then a to f3.
-    expected = {(0, 2), (1, 1), (2, 0)}
-    assert {(p.fid, p.oid) for p in matching.pairs} == expected
-    print("Matches the paper's worked example: "
-          "(f1, c), (f2, b), (f3, a).")
+        # The paper's walk-through: c goes to f1 (score 0.68), then b
+        # to f2, then a to f3.
+        expected = {(0, 2), (1, 1), (2, 0)}
+        assert {(p.fid, p.oid) for p in solution} == expected
+        assert solution.partner_of(0) == ((2, 1),)
+        print(
+            "Matches the paper's worked example: (f1, c), (f2, b), (f3, a)."
+        )
+
+        # Churn (the paper's future-work scenario): position c is
+        # withdrawn and the matching is repaired incrementally.
+        after = session.apply(ObjectDeparted(2))
+        session.verify_current()
+        diff = session.last_diff
+        print("\nPosition c withdrawn; incremental repair moved:")
+        for fid, oid, _units in diff.added:
+            print(
+                f"  {student_names[fid]:22s} -> position "
+                f"{position_names[oid]}"
+            )
+        assert {(p.fid, p.oid) for p in after} == {(0, 3), (1, 1), (2, 0)}
+        print("Every other student kept their position.")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,56 @@
+"""Churn events consumed by :meth:`AssignmentSession.apply`.
+
+The paper's future-work scenario — "maintenance of a fair matching in
+a system where objects are dynamically allocated/freed" — expressed as
+four declarative event types.  Arrivals carry the new participant's
+data; departures name the handle to retire (the problem's positional
+ids seed the session, arrival handles are reported back via
+:attr:`AssignmentSession.last_arrival_handles`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class ObjectArrived:
+    """A new object joins the catalogue (e.g. a housing unit freed)."""
+
+    point: tuple[float, ...]
+    capacity: int = 1
+
+
+@dataclass(frozen=True)
+class ObjectDeparted:
+    """An object leaves the catalogue (allocated outside the system)."""
+
+    oid: int
+
+
+@dataclass(frozen=True)
+class FunctionArrived:
+    """A new preference function (user) joins the cohort."""
+
+    weights: tuple[float, ...]
+    priority: float = 1.0
+    capacity: int = 1
+
+
+@dataclass(frozen=True)
+class FunctionDeparted:
+    """A function (user) withdraws from the cohort."""
+
+    fid: int
+
+
+Event = Union[ObjectArrived, ObjectDeparted, FunctionArrived, FunctionDeparted]
+
+__all__ = [
+    "Event",
+    "FunctionArrived",
+    "FunctionDeparted",
+    "ObjectArrived",
+    "ObjectDeparted",
+]

@@ -1,0 +1,468 @@
+"""The immutable :class:`Problem` value object and its fluent builder.
+
+A ``Problem`` is everything needed to reproduce one assignment
+instance: the object catalogue (points + capacities), the preference
+cohort (weights + priorities + capacities), the solver selection
+(named method + keyword options) and the index/storage settings.  It
+validates on construction (:class:`~repro.errors.InvalidProblemError`
+/ :class:`~repro.errors.UnknownSolverError`), is canonically
+normalized (all-1 capacity and priority vectors collapse to ``None``),
+and round-trips through versioned dict/JSON serde so instances can
+cross a process boundary — the contract a future HTTP layer serves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass, field
+from functools import cached_property
+from types import MappingProxyType
+from typing import Any
+
+from repro.api.serde import (
+    PROBLEM_SCHEMA,
+    SCHEMA_KEY,
+    check_payload,
+    from_json,
+    to_canonical_json,
+)
+from repro.core import validate_solver_options
+from repro.data.instances import FunctionSet, ObjectSet, Point
+from repro.errors import InvalidProblemError, SerdeError
+
+_OPTION_TYPES = (bool, int, float, str, type(None))
+
+
+def _point_tuple(row: Sequence[float]) -> Point:
+    return tuple(float(x) for x in row)
+
+
+def _normalize_caps(
+    caps: Sequence[int] | None, n: int, side: str
+) -> tuple[int, ...] | None:
+    if caps is None:
+        return None
+    out = tuple(int(c) for c in caps)
+    if len(out) != n:
+        raise InvalidProblemError(
+            f"{side} capacities must align with the {side}s "
+            f"({len(out)} != {n})"
+        )
+    if all(c == 1 for c in out):
+        return None
+    return out
+
+
+@dataclass(frozen=True)
+class Problem:
+    """One immutable assignment instance plus its solver selection.
+
+    Construct directly, via :meth:`builder`, or via :meth:`from_sets`;
+    derive variants with :meth:`with_method` / :meth:`with_functions` /
+    :meth:`with_objects` (the instance itself never mutates).
+    """
+
+    objects: tuple[Point, ...]
+    functions: tuple[Point, ...]
+    object_capacities: tuple[int, ...] | None = None
+    function_capacities: tuple[int, ...] | None = None
+    priorities: tuple[float, ...] | None = None
+    method: str = "sb"
+    options: Mapping[str, Any] = field(default_factory=dict)
+    page_size: int = 4096
+    memory_index: bool | None = None
+    buffer_fraction: float = 0.02
+
+    def __post_init__(self) -> None:
+        set_ = object.__setattr__
+        set_(self, "objects", tuple(_point_tuple(p) for p in self.objects))
+        set_(self, "functions", tuple(_point_tuple(w) for w in self.functions))
+        if not self.objects:
+            raise InvalidProblemError("a Problem needs at least one object")
+        if not self.functions:
+            raise InvalidProblemError("a Problem needs at least one function")
+        set_(
+            self,
+            "object_capacities",
+            _normalize_caps(self.object_capacities, len(self.objects), "object"),
+        )
+        set_(
+            self,
+            "function_capacities",
+            _normalize_caps(self.function_capacities, len(self.functions), "function"),
+        )
+        if self.priorities is not None:
+            gammas = tuple(float(g) for g in self.priorities)
+            set_(self, "priorities", None if all(g == 1.0 for g in gammas) else gammas)
+        for name, value in dict(self.options).items():
+            if not isinstance(name, str) or not isinstance(value, _OPTION_TYPES):
+                raise InvalidProblemError(
+                    f"solver option {name!r}={value!r} is not a JSON scalar"
+                )
+        set_(
+            self,
+            "options",
+            MappingProxyType(dict(sorted(dict(self.options).items()))),
+        )
+        if not isinstance(self.page_size, int) or self.page_size < 64:
+            raise InvalidProblemError(
+                f"page_size must be an int >= 64, got {self.page_size!r}"
+            )
+        if not 0.0 < float(self.buffer_fraction) <= 1.0:
+            raise InvalidProblemError(
+                f"buffer_fraction must be in (0, 1], got {self.buffer_fraction!r}"
+            )
+        set_(self, "buffer_fraction", float(self.buffer_fraction))
+        # Raises UnknownSolverError / InvalidSolverOptionError.
+        validate_solver_options(self.method, dict(self.options))
+        # Building the instance containers runs their structural
+        # validation (dimensionalities, weight sums, capacity floors).
+        try:
+            oset = ObjectSet(
+                list(self.objects),
+                capacities=(
+                    list(self.object_capacities)
+                    if self.object_capacities is not None
+                    else None
+                ),
+            ).freeze()
+            fset = FunctionSet(
+                list(self.functions),
+                gammas=(list(self.priorities) if self.priorities is not None else None),
+                capacities=(
+                    list(self.function_capacities)
+                    if self.function_capacities is not None
+                    else None
+                ),
+            )
+        except ValueError as exc:
+            raise InvalidProblemError(str(exc)) from exc
+        if oset.dims != fset.dims:
+            raise InvalidProblemError(
+                f"objects are {oset.dims}-dimensional but functions are "
+                f"{fset.dims}-dimensional"
+            )
+        self.__dict__["object_set"] = oset
+        self.__dict__["function_set"] = fset
+
+    def __hash__(self) -> int:
+        # The generated frozen-dataclass hash would choke on the
+        # MappingProxyType options field; hash its canonical item form.
+        return hash(
+            (
+                self.objects,
+                self.functions,
+                self.object_capacities,
+                self.function_capacities,
+                self.priorities,
+                self.method,
+                tuple(self.options.items()),
+                self.page_size,
+                self.memory_index,
+                self.buffer_fraction,
+            )
+        )
+
+    # -- instance views ------------------------------------------------
+
+    @cached_property
+    def object_set(self) -> ObjectSet:
+        """The validated (frozen) :class:`ObjectSet` view."""
+        raise AssertionError("populated in __post_init__")
+
+    @cached_property
+    def function_set(self) -> FunctionSet:
+        """The validated :class:`FunctionSet` view."""
+        raise AssertionError("populated in __post_init__")
+
+    @property
+    def dims(self) -> int:
+        return len(self.objects[0])
+
+    @property
+    def num_objects(self) -> int:
+        return len(self.objects)
+
+    @property
+    def num_functions(self) -> int:
+        return len(self.functions)
+
+    # -- construction --------------------------------------------------
+
+    @staticmethod
+    def builder() -> "ProblemBuilder":
+        return ProblemBuilder()
+
+    @classmethod
+    def from_sets(
+        cls,
+        objects: ObjectSet,
+        functions: FunctionSet,
+        method: str = "sb",
+        options: Mapping[str, Any] | None = None,
+        **settings: Any,
+    ) -> "Problem":
+        """Build a ``Problem`` from existing instance containers."""
+        return cls(
+            objects=tuple(objects.points),
+            functions=tuple(functions.weights),
+            object_capacities=(
+                tuple(objects.capacities) if objects.capacities is not None else None
+            ),
+            function_capacities=(
+                tuple(functions.capacities)
+                if functions.capacities is not None
+                else None
+            ),
+            priorities=(
+                tuple(functions.gammas) if functions.gammas is not None else None
+            ),
+            method=method,
+            options=dict(options or {}),
+            **settings,
+        )
+
+    # -- derivation ----------------------------------------------------
+
+    def _derive(self, **changes: Any) -> "Problem":
+        """``dataclasses.replace`` that carries over the validated
+        instance containers for the side(s) a change doesn't touch —
+        the shared (frozen) ``ObjectSet`` keeps its memoized cache
+        fingerprint, so deriving M solver variants of one catalogue
+        hashes it once, not M times."""
+        derived = dataclasses.replace(self, **changes)
+        if not {"objects", "object_capacities"} & changes.keys():
+            derived.__dict__["object_set"] = self.object_set
+        if not {"functions", "priorities", "function_capacities"} & changes.keys():
+            derived.__dict__["function_set"] = self.function_set
+        return derived
+
+    def with_method(self, method: str, **options: Any) -> "Problem":
+        """A copy solved by a different method (options replaced)."""
+        return self._derive(method=method, options=options)
+
+    def with_options(self, **options: Any) -> "Problem":
+        """A copy with updated solver options (merged over current)."""
+        merged = dict(self.options)
+        merged.update(options)
+        return self._derive(options=merged)
+
+    def with_functions(
+        self,
+        functions: Sequence[Sequence[float]],
+        priorities: Sequence[float] | None = None,
+        capacities: Sequence[int] | None = None,
+    ) -> "Problem":
+        """A new cohort over the same catalogue (index cache reuse)."""
+        return self._derive(
+            functions=tuple(_point_tuple(w) for w in functions),
+            priorities=tuple(priorities) if priorities is not None else None,
+            function_capacities=tuple(capacities) if capacities is not None else None,
+        )
+
+    def with_objects(
+        self,
+        objects: Sequence[Sequence[float]],
+        capacities: Sequence[int] | None = None,
+    ) -> "Problem":
+        """The same cohort over a different catalogue."""
+        return self._derive(
+            objects=tuple(_point_tuple(p) for p in objects),
+            object_capacities=tuple(capacities) if capacities is not None else None,
+        )
+
+    # -- serde ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Canonical JSON-compatible payload (versioned schema)."""
+        return {
+            SCHEMA_KEY: PROBLEM_SCHEMA,
+            "objects": {
+                "points": [list(p) for p in self.objects],
+                "capacities": (
+                    list(self.object_capacities)
+                    if self.object_capacities is not None
+                    else None
+                ),
+            },
+            "functions": {
+                "weights": [list(w) for w in self.functions],
+                "priorities": (
+                    list(self.priorities) if self.priorities is not None else None
+                ),
+                "capacities": (
+                    list(self.function_capacities)
+                    if self.function_capacities is not None
+                    else None
+                ),
+            },
+            "solver": {"method": self.method, "options": dict(self.options)},
+            "index": {
+                "page_size": self.page_size,
+                "memory": self.memory_index,
+                "buffer_fraction": self.buffer_fraction,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "Problem":
+        check_payload(
+            payload,
+            PROBLEM_SCHEMA,
+            required={"objects", "functions", "solver"},
+            optional={"index"},
+        )
+        objects = payload["objects"]
+        functions = payload["functions"]
+        solver = payload["solver"]
+        index = payload.get("index") or {}
+        for section, name, required_keys, optional_keys in (
+            (objects, "objects", {"points"}, {"capacities"}),
+            (functions, "functions", {"weights"}, {"priorities", "capacities"}),
+            (solver, "solver", {"method"}, {"options"}),
+            (index, "index", set(), {"page_size", "memory", "buffer_fraction"}),
+        ):
+            if not isinstance(section, Mapping):
+                raise SerdeError(f"{name!r} section must be a mapping")
+            unknown = set(section) - required_keys - optional_keys
+            if unknown:
+                raise SerdeError(
+                    f"{name!r} section has unknown field(s) {sorted(unknown)}"
+                )
+            missing = required_keys - set(section)
+            if missing:
+                raise SerdeError(f"{name!r} section missing field(s) {sorted(missing)}")
+        caps = objects.get("capacities")
+        fcaps = functions.get("capacities")
+        gammas = functions.get("priorities")
+        return cls(
+            objects=tuple(tuple(p) for p in objects["points"]),
+            functions=tuple(tuple(w) for w in functions["weights"]),
+            object_capacities=tuple(caps) if caps is not None else None,
+            function_capacities=tuple(fcaps) if fcaps is not None else None,
+            priorities=tuple(gammas) if gammas is not None else None,
+            method=solver["method"],
+            options=dict(solver.get("options") or {}),
+            page_size=index.get("page_size", 4096),
+            memory_index=index.get("memory"),
+            buffer_fraction=index.get("buffer_fraction", 0.02),
+        )
+
+    def to_json(self) -> str:
+        return to_canonical_json(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str | bytes) -> "Problem":
+        return cls.from_dict(from_json(text))
+
+
+class ProblemBuilder:
+    """Fluent, mutable accumulator for a :class:`Problem`.
+
+    Every method returns ``self``; :meth:`build` validates and freezes
+    the accumulated state into an immutable ``Problem``::
+
+        problem = (
+            Problem.builder()
+            .add_object((0.5, 0.6), capacity=2)
+            .add_function((0.8, 0.2), priority=2.0)
+            .solver("sb", omega_fraction=0.05)
+            .build()
+        )
+    """
+
+    def __init__(self) -> None:
+        self._objects: list[Point] = []
+        self._object_caps: list[int] = []
+        self._functions: list[Point] = []
+        self._function_caps: list[int] = []
+        self._priorities: list[float] = []
+        self._method = "sb"
+        self._options: dict[str, Any] = {}
+        self._page_size = 4096
+        self._memory_index: bool | None = None
+        self._buffer_fraction = 0.02
+
+    def add_object(self, point: Sequence[float], capacity: int = 1) -> "ProblemBuilder":
+        self._objects.append(_point_tuple(point))
+        self._object_caps.append(int(capacity))
+        return self
+
+    def add_objects(
+        self,
+        points: Sequence[Sequence[float]],
+        capacities: Sequence[int] | None = None,
+    ) -> "ProblemBuilder":
+        if capacities is not None and len(capacities) != len(points):
+            raise InvalidProblemError("capacities must align with points")
+        for i, point in enumerate(points):
+            self.add_object(point, 1 if capacities is None else capacities[i])
+        return self
+
+    def add_function(
+        self,
+        weights: Sequence[float],
+        capacity: int = 1,
+        priority: float = 1.0,
+    ) -> "ProblemBuilder":
+        self._functions.append(_point_tuple(weights))
+        self._function_caps.append(int(capacity))
+        self._priorities.append(float(priority))
+        return self
+
+    def add_functions(
+        self,
+        weights: Sequence[Sequence[float]],
+        priorities: Sequence[float] | None = None,
+        capacities: Sequence[int] | None = None,
+    ) -> "ProblemBuilder":
+        for seq, what in ((priorities, "priorities"), (capacities, "capacities")):
+            if seq is not None and len(seq) != len(weights):
+                raise InvalidProblemError(f"{what} must align with weights")
+        for i, w in enumerate(weights):
+            self.add_function(
+                w,
+                capacity=1 if capacities is None else capacities[i],
+                priority=1.0 if priorities is None else priorities[i],
+            )
+        return self
+
+    def solver(self, method: str, **options: Any) -> "ProblemBuilder":
+        """Select the solver; keyword arguments become its options."""
+        self._method = method
+        self._options = dict(options)
+        return self
+
+    def options(self, **options: Any) -> "ProblemBuilder":
+        self._options.update(options)
+        return self
+
+    def page_size(self, page_size: int) -> "ProblemBuilder":
+        self._page_size = int(page_size)
+        return self
+
+    def memory_index(self, memory: bool | None) -> "ProblemBuilder":
+        self._memory_index = memory
+        return self
+
+    def buffer_fraction(self, fraction: float) -> "ProblemBuilder":
+        self._buffer_fraction = float(fraction)
+        return self
+
+    def build(self) -> Problem:
+        return Problem(
+            objects=tuple(self._objects),
+            functions=tuple(self._functions),
+            object_capacities=tuple(self._object_caps) or None,
+            function_capacities=tuple(self._function_caps) or None,
+            priorities=tuple(self._priorities) or None,
+            method=self._method,
+            options=dict(self._options),
+            page_size=self._page_size,
+            memory_index=self._memory_index,
+            buffer_fraction=self._buffer_fraction,
+        )
+
+
+__all__ = ["Problem", "ProblemBuilder"]

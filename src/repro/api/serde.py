@@ -1,0 +1,69 @@
+"""Versioned dict/JSON serialization shared by the API value objects.
+
+Payloads are plain JSON-compatible dicts tagged with a ``"schema"``
+string (``"repro.problem/v1"``, ``"repro.solution/v1"``).  Decoding is
+strict: a wrong tag, a missing field, or an unknown field raises
+:class:`~repro.errors.SerdeError` instead of guessing — cross-process
+payloads that drift should fail loudly at the boundary.
+
+Floats survive the round trip bit-identically: ``json`` serializes via
+``repr``, which is exact for finite IEEE-754 doubles.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Mapping
+from typing import Any
+
+from repro.errors import SerdeError
+
+SCHEMA_KEY = "schema"
+PROBLEM_SCHEMA = "repro.problem/v1"
+SOLUTION_SCHEMA = "repro.solution/v1"
+
+
+def check_payload(
+    payload: Any,
+    schema: str,
+    required: frozenset[str] | set[str],
+    optional: frozenset[str] | set[str] = frozenset(),
+) -> None:
+    """Validate a decoded payload's schema tag and field names."""
+    if not isinstance(payload, Mapping):
+        raise SerdeError(
+            f"expected a mapping payload for {schema!r}, "
+            f"got {type(payload).__name__}"
+        )
+    tag = payload.get(SCHEMA_KEY)
+    if tag != schema:
+        raise SerdeError(f"expected schema {schema!r}, got {tag!r}")
+    keys = set(payload) - {SCHEMA_KEY}
+    missing = set(required) - keys
+    if missing:
+        raise SerdeError(f"{schema!r} payload missing field(s) {sorted(missing)}")
+    unknown = keys - set(required) - set(optional)
+    if unknown:
+        raise SerdeError(f"{schema!r} payload has unknown field(s) {sorted(unknown)}")
+
+
+def to_canonical_json(payload: dict) -> str:
+    """Canonical encoding: sorted keys, no insignificant whitespace."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def from_json(text: str | bytes) -> Any:
+    try:
+        return json.loads(text)
+    except (TypeError, ValueError) as exc:
+        raise SerdeError(f"malformed JSON payload: {exc}") from exc
+
+
+__all__ = [
+    "PROBLEM_SCHEMA",
+    "SCHEMA_KEY",
+    "SOLUTION_SCHEMA",
+    "check_payload",
+    "from_json",
+    "to_canonical_json",
+]

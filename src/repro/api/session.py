@@ -1,0 +1,324 @@
+"""The long-lived :class:`AssignmentSession` — solve, batch, churn.
+
+A session binds one base :class:`~repro.api.problem.Problem` to the
+service machinery: the instance-hash
+:class:`~repro.service.batch.ObjectIndexCache` (so the catalogue's
+R-tree is built once and shared across every solve), a
+:class:`~repro.service.batch.BatchSolver` worker pool for
+:meth:`solve_many`, a persistent executor for :meth:`submit` futures,
+and a :class:`~repro.core.dynamic.DynamicStableMatching` behind
+:meth:`apply` for incremental re-solve under object/function arrival
+and departure.  Sessions are context managers; a closed session raises
+:class:`~repro.errors.SessionClosedError`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from repro.api.events import (
+    Event,
+    FunctionArrived,
+    FunctionDeparted,
+    ObjectArrived,
+    ObjectDeparted,
+)
+from repro.api.problem import Problem
+from repro.api.solution import Solution, SolutionDiff
+from repro.core.dynamic import DynamicStableMatching
+from repro.core.validate import assert_stable
+from repro.data.instances import FunctionSet, ObjectSet
+from repro.errors import InvalidProblemError, SessionClosedError
+from repro.service.batch import BatchSolver, SolveJob
+
+_DYNAMIC_METHOD = "dynamic"
+
+
+def _check_weights(weights: Sequence[float], dims: int) -> tuple[float, ...]:
+    w = tuple(float(x) for x in weights)
+    if len(w) != dims:
+        raise InvalidProblemError(f"expected {dims}-dimensional weights, got {len(w)}")
+    if any(x < 0 for x in w):
+        raise InvalidProblemError(f"weights must be non-negative, got {w}")
+    if abs(sum(w) - 1.0) > 1e-6:
+        raise InvalidProblemError(f"weights must sum to 1, got {w}")
+    return w
+
+
+class AssignmentSession:
+    """One catalogue, many queries: the stateful service facade.
+
+    ``solve()`` / ``solve_many()`` / ``submit()`` run static problems
+    through the shared index cache; ``apply(events)`` maintains the
+    matching incrementally under churn (starting from the base
+    problem's population).  The two views are independent: ``solve``
+    always answers for the immutable base problem, ``current()`` for
+    the churned population.
+    """
+
+    def __init__(
+        self,
+        problem: Problem,
+        *,
+        max_workers: int | None = None,
+        index_cache_size: int = 32,
+    ):
+        self._problem = problem
+        self._batch = BatchSolver(
+            max_workers=max_workers, index_cache_size=index_cache_size
+        )
+        self._max_workers = max_workers
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+        self._closing = False
+        # Dynamic (churn) state, seeded lazily from the base problem.
+        self._dynamic: DynamicStableMatching | None = None
+        self._dyn_functions: dict[int, tuple[tuple[float, ...], float, int]] = {}
+        self._dyn_objects: dict[int, tuple[tuple[float, ...], int]] = {}
+        self._dyn_solution: Solution | None = None
+        #: Handles assigned to the arrival events of the last
+        #: :meth:`apply` call, in event order.
+        self.last_arrival_handles: tuple[int, ...] = ()
+        #: Diff produced by the last :meth:`apply` call.
+        self.last_diff: SolutionDiff | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def problem(self) -> Problem:
+        return self._problem
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Drain pending futures, release the pool; further operations
+        raise.  Futures obtained from :meth:`submit` before ``close``
+        still resolve — only *new* work is rejected while draining."""
+        if self._closed or self._closing:
+            return
+        self._closing = True
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._closed = True
+
+    def __enter__(self) -> "AssignmentSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise SessionClosedError("this AssignmentSession has been closed")
+
+    # -- static solving ------------------------------------------------
+
+    def _job_for(self, problem: Problem) -> SolveJob:
+        return SolveJob(
+            functions=problem.function_set,
+            objects=problem.object_set,
+            method=problem.method,
+            page_size=problem.page_size,
+            memory_index=problem.memory_index,
+            buffer_fraction=problem.buffer_fraction,
+            solve_kwargs=dict(problem.options),
+        )
+
+    def warm(self) -> "AssignmentSession":
+        """Pre-build (and cache) the base problem's object index."""
+        self._check_open()
+        job = self._job_for(self._problem)
+        self._batch.cache.get(job.objects, job.page_size, job.wants_memory_index)
+        return self
+
+    def solve(self, problem: Problem | None = None) -> Solution:
+        """Solve the base problem (or an override) synchronously."""
+        self._check_open()
+        target = problem if problem is not None else self._problem
+        job_result = self._batch.solve_one(self._job_for(target))
+        return Solution.from_result(
+            job_result.result, method=target.method, problem=target
+        )
+
+    def solve_many(self, problems: Iterable[Problem]) -> list[Solution]:
+        """Solve several problems on the worker pool (order preserved).
+
+        Problems sharing this session's catalogue (e.g. derived via
+        :meth:`Problem.with_method` / :meth:`Problem.with_functions`)
+        share one cached object index.
+        """
+        self._check_open()
+        targets = list(problems)
+        results = self._batch.solve_many([self._job_for(p) for p in targets])
+        return [
+            Solution.from_result(r.result, method=p.method, problem=p)
+            for p, r in zip(targets, results)
+        ]
+
+    def submit(self, problem: Problem | None = None) -> Future:
+        """Enqueue a solve; returns a ``Future[Solution]``."""
+        self._check_open()
+        if self._closing:
+            raise SessionClosedError("this AssignmentSession is draining")
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix="repro-session",
+            )
+        return self._pool.submit(self.solve, problem)
+
+    def cache_info(self) -> dict[str, int]:
+        return self._batch.cache_info()
+
+    # -- dynamic (churn) solving ---------------------------------------
+
+    def _ensure_dynamic(self) -> DynamicStableMatching:
+        if self._dynamic is None:
+            problem = self._problem
+            self._dynamic = DynamicStableMatching.from_instance(
+                problem.function_set, problem.object_set
+            )
+            for fid, w in enumerate(problem.functions):
+                self._dyn_functions[fid] = (
+                    w,
+                    problem.function_set.gamma(fid),
+                    problem.function_set.capacity(fid),
+                )
+            for oid, p in enumerate(problem.objects):
+                self._dyn_objects[oid] = (p, problem.object_set.capacity(oid))
+            self._dyn_solution = self._snapshot_dynamic()
+        return self._dynamic
+
+    def _snapshot_dynamic(self) -> Solution:
+        assert self._dynamic is not None
+        return Solution(
+            pairs=tuple(self._dynamic.matching.pairs),
+            method=_DYNAMIC_METHOD,
+        )
+
+    def current(self) -> Solution:
+        """The matching over the current (possibly churned) population."""
+        self._check_open()
+        self._ensure_dynamic()
+        assert self._dyn_solution is not None
+        return self._dyn_solution
+
+    def apply(self, events: Event | Iterable[Event]) -> Solution:
+        """Apply churn events and incrementally repair the matching.
+
+        Accepts one event or an iterable; returns the new
+        :class:`Solution`.  Handles assigned to arrivals are exposed as
+        :attr:`last_arrival_handles`, the unit-level delta as
+        :attr:`last_diff`.
+        """
+        self._check_open()
+        dyn = self._ensure_dynamic()
+        if isinstance(
+            events,
+            (ObjectArrived, ObjectDeparted, FunctionArrived, FunctionDeparted),
+        ):
+            events = [events]
+        dims = self._problem.dims
+        previous = self._dyn_solution
+        arrivals: list[int] = []
+        try:
+            self._apply_events(dyn, events, dims, arrivals)
+        finally:
+            # Always resync the snapshot: a rejected event mid-batch
+            # must not leave the cached solution stale relative to the
+            # already-applied prefix.
+            self._dyn_solution = self._snapshot_dynamic()
+            self.last_arrival_handles = tuple(arrivals)
+            self.last_diff = self._dyn_solution.diff(previous)
+        return self._dyn_solution
+
+    def _apply_events(
+        self,
+        dyn: DynamicStableMatching,
+        events: Iterable[Event],
+        dims: int,
+        arrivals: list[int],
+    ) -> None:
+        for event in events:
+            if isinstance(event, ObjectArrived):
+                point = tuple(float(x) for x in event.point)
+                if len(point) != dims:
+                    raise InvalidProblemError(
+                        f"expected {dims}-dimensional point, got {len(point)}"
+                    )
+                if event.capacity < 1:
+                    raise InvalidProblemError("object capacity must be >= 1")
+                oid = dyn.add_object(point, capacity=event.capacity)
+                self._dyn_objects[oid] = (point, event.capacity)
+                arrivals.append(oid)
+            elif isinstance(event, ObjectDeparted):
+                if event.oid not in self._dyn_objects:
+                    raise InvalidProblemError(f"unknown object {event.oid}")
+                dyn.remove_object(event.oid)
+                del self._dyn_objects[event.oid]
+            elif isinstance(event, FunctionArrived):
+                weights = _check_weights(event.weights, dims)
+                if event.priority <= 0:
+                    raise InvalidProblemError("priority must be positive")
+                if event.capacity < 1:
+                    raise InvalidProblemError("function capacity must be >= 1")
+                effective = tuple(x * event.priority for x in weights)
+                fid = dyn.add_function(effective, capacity=event.capacity)
+                self._dyn_functions[fid] = (
+                    weights,
+                    event.priority,
+                    event.capacity,
+                )
+                arrivals.append(fid)
+            elif isinstance(event, FunctionDeparted):
+                if event.fid not in self._dyn_functions:
+                    raise InvalidProblemError(f"unknown function {event.fid}")
+                dyn.remove_function(event.fid)
+                del self._dyn_functions[event.fid]
+            else:
+                raise InvalidProblemError(f"unknown event type {type(event).__name__}")
+
+    def verify_current(self) -> Solution:
+        """Certify stability of the churned matching; returns it.
+
+        Rebuilds dense instance containers from the surviving
+        population (handles are remapped positionally) and runs the
+        textbook blocking-pair check.
+        """
+        self._check_open()
+        solution = self.current()
+        fids = sorted(self._dyn_functions)
+        oids = sorted(self._dyn_objects)
+        if not fids or not oids:
+            return solution
+        functions = FunctionSet(
+            [self._dyn_functions[f][0] for f in fids],
+            gammas=(
+                [self._dyn_functions[f][1] for f in fids]
+                if any(self._dyn_functions[f][1] != 1.0 for f in fids)
+                else None
+            ),
+            capacities=[self._dyn_functions[f][2] for f in fids],
+        )
+        objects = ObjectSet(
+            [self._dyn_objects[o][0] for o in oids],
+            capacities=[self._dyn_objects[o][1] for o in oids],
+        )
+        f_remap = {f: i for i, f in enumerate(fids)}
+        o_remap = {o: i for i, o in enumerate(oids)}
+        dense = Solution(
+            pairs=tuple(
+                type(p)(f_remap[p.fid], o_remap[p.oid], p.score, p.count)
+                for p in solution.pairs
+            ),
+            method=_DYNAMIC_METHOD,
+        )
+        assert_stable(dense.matching, functions, objects)
+        return solution
+
+
+__all__ = ["AssignmentSession"]

@@ -11,8 +11,8 @@
 - :mod:`repro.bench.reporting` — paper-style series tables.
 
 ``benchmarks/`` contains one pytest-benchmark suite per paper figure;
-``benchmarks/run_figures.py`` regenerates every table of
-EXPERIMENTS.md in one go.
+``benchmarks/run_figures.py`` regenerates every figure's table in
+one go (see README.md § Benchmarks).
 """
 
 from repro.bench.config import Defaults, current_scale, defaults

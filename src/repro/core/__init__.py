@@ -30,6 +30,7 @@ from repro.core.types import AssignedPair, AssignmentResult, Matching, RunStats
 from repro.core.validate import assert_stable, assert_valid_matching, find_blocking_pair
 from repro.data.instances import FunctionSet, ObjectSet
 from repro.engine.engine import AssignmentEngine, EngineConfig
+from repro.errors import InvalidSolverOptionError, UnknownSolverError
 
 SOLVERS = {
     "sb": sb_assign,
@@ -40,6 +41,46 @@ SOLVERS = {
     "brute-force": brute_force_assign,
     "chain": chain_assign,
 }
+
+_SB_OPTIONS = frozenset(
+    {
+        "omega_fraction",
+        "multi_pair",
+        "biased",
+        "resume",
+        "maintenance",
+        "paged_function_lists",
+    }
+)
+
+#: Keyword overrides accepted by each named solver.  ``solve`` rejects
+#: anything outside these sets up front with a typed error instead of
+#: letting a raw ``TypeError`` escape from an inner solver lambda.
+SOLVER_OPTIONS: dict[str, frozenset[str]] = {
+    "sb": _SB_OPTIONS | {"variant"},
+    "sb-update": _SB_OPTIONS,
+    "sb-deltasky": _SB_OPTIONS,
+    "sb-two-skylines": frozenset({"multi_pair"}),
+    "sb-alt": frozenset({"page_size", "multi_pair"}),
+    "brute-force": frozenset({"function_scan_pages"}),
+    "chain": frozenset({"disk_function_tree"}),
+}
+
+
+def validate_solver_options(method: str, options: dict | None) -> None:
+    """Check a solver name and its keyword overrides.
+
+    Raises :class:`~repro.errors.UnknownSolverError` (a ``ValueError``)
+    for an unregistered name and
+    :class:`~repro.errors.InvalidSolverOptionError` (a ``TypeError``)
+    naming the accepted options for an unknown override.
+    """
+    if not isinstance(method, str) or method not in SOLVERS:
+        raise UnknownSolverError(method, SOLVERS)
+    accepted = SOLVER_OPTIONS[method]
+    unknown = set(options or ()) - accepted
+    if unknown:
+        raise InvalidSolverOptionError(method, unknown, accepted)
 
 
 def solve(
@@ -59,18 +100,18 @@ def solve(
     """
     if isinstance(method, EngineConfig):
         if kwargs:
-            raise TypeError(
-                "keyword overrides are not accepted with an EngineConfig; "
-                "bake them into the config instead"
+            raise InvalidSolverOptionError(
+                method.name,
+                kwargs,
+                (),
+                message=(
+                    "keyword overrides are not accepted with an "
+                    "EngineConfig; bake them into the config instead"
+                ),
             )
         return AssignmentEngine(method).run(functions, index)
-    try:
-        fn = SOLVERS[method]
-    except KeyError:
-        raise ValueError(
-            f"unknown method {method!r}; expected one of {sorted(SOLVERS)}"
-        ) from None
-    return fn(functions, index, **kwargs)
+    validate_solver_options(method, kwargs)
+    return SOLVERS[method](functions, index, **kwargs)
 
 
 __all__ = [
@@ -82,6 +123,7 @@ __all__ = [
     "ObjectSet",
     "RunStats",
     "SOLVERS",
+    "SOLVER_OPTIONS",
     "assert_stable",
     "assert_valid_matching",
     "brute_force_assign",
@@ -94,4 +136,5 @@ __all__ = [
     "sb_alt_assign",
     "sb_two_skyline_assign",
     "solve",
+    "validate_solver_options",
 ]

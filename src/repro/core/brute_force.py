@@ -43,7 +43,6 @@ def brute_force_assign(
     mem = MemoryTracker()
     matching = Matching()
     caps = CapacityTracker(functions, index.objects)
-    objects = index.objects
 
     assigned_objects: set[int] = set()  # tombstones shared by all searches
     searches: dict[int, BRSSearch] = {}

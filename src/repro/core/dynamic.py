@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from repro.core.types import Matching
 from repro.data.instances import FunctionSet, ObjectSet, Point
-from repro.ordering import PairKey, object_key, pair_key
+from repro.ordering import PairKey, pair_key
 from repro.scoring import score
 
 
@@ -55,6 +55,30 @@ class DynamicStableMatching:
         # (pair_key, fid, oid, score, units).
         self._pairs: list[tuple[PairKey, int, int, float, int]] = []
         self.suffix_rematch_count = 0  # pairs re-examined by last event
+
+    @classmethod
+    def from_instance(
+        cls, functions: FunctionSet, objects: ObjectSet
+    ) -> "DynamicStableMatching":
+        """Seed from static instance containers in one bulk rematch.
+
+        Handles equal the containers' positional ids (function ``i`` of
+        the :class:`FunctionSet` becomes dynamic handle ``i``, same for
+        objects).  Priorities enter as γ-scaled effective weights, the
+        same canonical order the static solvers use, so the seeded
+        matching is exactly the static solution.
+        """
+        dyn = cls()
+        for fid, _ in functions.items():
+            dyn._weights[fid] = tuple(functions.effective_weights(fid))
+            dyn._f_caps[fid] = functions.capacity(fid)
+        dyn._next_f = len(functions)
+        for oid, point in objects.items():
+            dyn._points[oid] = tuple(point)
+            dyn._o_caps[oid] = objects.capacity(oid)
+        dyn._next_o = len(objects)
+        dyn._rematch_from(0)
+        return dyn
 
     # ------------------------------------------------------------------
     # Introspection

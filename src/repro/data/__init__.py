@@ -6,7 +6,7 @@ et al. [4]), on normalized linear preference functions with
 independently drawn weights (optionally clustered, Figure 12), and on
 two real datasets (Zillow, NBA) for which
 :mod:`repro.data.real` provides behaviour-preserving synthetic
-substitutes (see DESIGN.md §5).
+substitutes (see :mod:`repro.data.real` for the rationale).
 """
 
 from repro.data.generators import (

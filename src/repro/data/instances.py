@@ -11,6 +11,8 @@ from __future__ import annotations
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
+from repro.errors import FrozenInstanceError
+
 Point = tuple[float, ...]
 
 
@@ -43,6 +45,35 @@ class ObjectSet:
 
     def __len__(self) -> int:
         return len(self.points)
+
+    def freeze(self) -> "ObjectSet":
+        """Make the catalogue immutable (idempotent; returns self).
+
+        Called when the instance enters a fingerprint-keyed cache (the
+        service layer memoizes the content hash on the instance, so a
+        later mutation would silently reuse a stale cached index).
+        ``points`` / ``capacities`` become tuples and rebinding either
+        attribute raises :class:`~repro.errors.FrozenInstanceError`.
+        """
+        if not getattr(self, "_frozen", False):
+            self.points = tuple(self.points)  # type: ignore[assignment]
+            if self.capacities is not None:
+                self.capacities = tuple(self.capacities)  # type: ignore[assignment]
+            self._frozen = True
+        return self
+
+    @property
+    def is_frozen(self) -> bool:
+        return getattr(self, "_frozen", False)
+
+    def __setattr__(self, name: str, value) -> None:
+        if name in ("points", "capacities") and getattr(self, "_frozen", False):
+            raise FrozenInstanceError(
+                f"cannot rebind {name!r}: this ObjectSet was frozen when "
+                "its fingerprint entered the index cache; build a new "
+                "ObjectSet instead of mutating a submitted one"
+            )
+        super().__setattr__(name, value)
 
     @property
     def dims(self) -> int:

@@ -13,7 +13,7 @@ The paper evaluates on two real datasets we cannot redistribute:
 
 ``zillow_like`` and ``nba_like`` generate datasets with the same
 dimensionality, scale characteristics, skew and correlation structure
-(see DESIGN.md §5 for the substitution rationale).  All attributes are
+(the substitution rationale is documented below).  All attributes are
 min-max normalized to [0, 1] with larger-is-better orientation (price
 is negated: cheaper listings score higher, making size-vs-price
 anti-correlated exactly as the paper describes).

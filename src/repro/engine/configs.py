@@ -30,6 +30,7 @@ from repro.engine.engine import EngineConfig, EngineContext
 from repro.engine.rounds import ChainRound, MutualBestRound
 from repro.engine.search import BatchTASearch, FskySearch, ReverseTASearch
 from repro.engine.skyline import NoSkyline, build_object_skyline
+from repro.errors import UnknownSolverError
 
 SB_VARIANTS = ("sb", "sb-update", "sb-deltasky")
 
@@ -137,8 +138,5 @@ def engine_config(name: str, **kwargs) -> EngineConfig:
     try:
         factory = ENGINE_CONFIGS[name]
     except KeyError:
-        raise ValueError(
-            f"unknown engine config {name!r}; "
-            f"expected one of {sorted(ENGINE_CONFIGS)}"
-        ) from None
+        raise UnknownSolverError(name, ENGINE_CONFIGS, kind="engine config") from None
     return factory(**kwargs)

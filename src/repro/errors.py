@@ -1,0 +1,93 @@
+"""The typed exception hierarchy of the public API.
+
+Every error the library raises deliberately derives from
+:class:`ReproError`, so callers of :mod:`repro.api` can catch one base
+class at a service boundary.  Each concrete error *also* derives from
+the builtin it historically surfaced as (``ValueError``, ``TypeError``,
+``AttributeError``), so pre-existing ``except ValueError`` call sites
+keep working unchanged.
+
+This module is dependency-free on purpose: any layer (``core``,
+``data``, ``engine``, ``service``) may import it without cycles.  The
+same names are re-exported from :mod:`repro.api.errors`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+
+class ReproError(Exception):
+    """Base class of every error deliberately raised by repro."""
+
+
+class InvalidProblemError(ReproError, ValueError):
+    """A problem instance is structurally invalid (mismatched
+    dimensionalities, weights not summing to 1, capacities < 1, ...)."""
+
+
+class UnknownSolverError(ReproError, ValueError):
+    """A solver / engine-config name is not registered."""
+
+    def __init__(
+        self,
+        method: object,
+        known: Iterable[str],
+        kind: str = "solver",
+    ):
+        self.method = method
+        self.known = tuple(sorted(known))
+        super().__init__(
+            f"unknown {kind} {method!r}; expected one of {list(self.known)}"
+        )
+
+
+class InvalidSolverOptionError(ReproError, TypeError):
+    """A keyword override is not accepted by the selected solver."""
+
+    def __init__(
+        self,
+        method: str,
+        unknown: Iterable[str],
+        accepted: Iterable[str],
+        message: str | None = None,
+    ):
+        self.method = method
+        self.unknown = tuple(sorted(unknown))
+        self.accepted = tuple(sorted(accepted))
+        if message is None:
+            accepts = (
+                f"accepts options {list(self.accepted)}"
+                if self.accepted
+                else "accepts no options"
+            )
+            message = (
+                f"solver {method!r} got unknown option(s) "
+                f"{list(self.unknown)}; it {accepts}"
+            )
+        super().__init__(message)
+
+
+class SerdeError(ReproError, ValueError):
+    """A serialized payload cannot be decoded (wrong schema tag,
+    missing or unknown fields, malformed values)."""
+
+
+class FrozenInstanceError(ReproError, AttributeError):
+    """Mutation of a frozen instance container (an :class:`ObjectSet`
+    submitted to the index cache, whose fingerprint is memoized)."""
+
+
+class SessionClosedError(ReproError, RuntimeError):
+    """An operation was attempted on a closed :class:`AssignmentSession`."""
+
+
+__all__ = [
+    "FrozenInstanceError",
+    "InvalidProblemError",
+    "InvalidSolverOptionError",
+    "ReproError",
+    "SerdeError",
+    "SessionClosedError",
+    "UnknownSolverError",
+]

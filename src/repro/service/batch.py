@@ -42,10 +42,13 @@ def object_set_fingerprint(objects: ObjectSet) -> str:
     Two structurally identical object sets (same points, same
     capacities) fingerprint equally even when they are distinct Python
     objects, so re-submitted catalogues hit the index cache.  The
-    digest is memoized on the instance (catalogues are treated as
-    immutable once submitted), so a batch of K jobs over one large
-    catalogue hashes it once, not K times.
+    digest is memoized on the instance, so a batch of K jobs over one
+    large catalogue hashes it once, not K times — and the instance is
+    **frozen** first (:meth:`ObjectSet.freeze`): without that, mutating
+    ``objects.points`` after a submit would silently reuse the stale
+    cached index for a catalogue that no longer matches the hash.
     """
+    objects.freeze()
     cached = getattr(objects, "_repro_fingerprint", None)
     if cached is not None:
         return cached

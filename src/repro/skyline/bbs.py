@@ -25,7 +25,7 @@ import heapq
 import itertools
 from collections.abc import Iterable
 
-from repro.rtree.geometry import Point, Rect, dominates, sky_key_point
+from repro.rtree.geometry import Point, dominates, sky_key_point
 from repro.rtree.tree import RTree
 from repro.skyline.dominance import DominanceIndex
 from repro.storage.stats import (

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
-from repro.rtree.geometry import Point, Rect
+from repro.rtree.geometry import Rect
 
 
 def dominance_region(p: Sequence[float], origin: float = 0.0) -> Rect:

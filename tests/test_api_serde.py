@@ -1,0 +1,231 @@
+"""Serde round trips (property-based) and deprecation shims.
+
+``Problem`` and ``Solution`` must survive ``to_dict → from_dict`` and
+``to_json → from_json`` bit-identically — capacities, priorities and
+solver options included — since the dict form is the process-boundary
+contract for a future service layer.
+"""
+
+import json
+import warnings
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro
+from repro.api import Problem, SerdeError, Solution
+from repro.core import SOLVER_OPTIONS
+
+from .conftest import random_instance
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+_coord = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+def _weights(dims: int):
+    return (
+        st.lists(
+            st.floats(min_value=0.01, max_value=1.0, allow_nan=False),
+            min_size=dims,
+            max_size=dims,
+        )
+        .map(lambda xs: tuple(x / sum(xs) for x in xs))
+    )
+
+
+_METHOD_OPTIONS = {
+    "sb": {"omega_fraction": st.one_of(st.none(), st.floats(0.01, 0.5)),
+           "multi_pair": st.booleans()},
+    "sb-alt": {"page_size": st.sampled_from([512, 1024, 4096])},
+    "chain": {"disk_function_tree": st.booleans()},
+    "brute-force": {"function_scan_pages": st.integers(0, 4)},
+}
+
+
+@st.composite
+def problems(draw) -> Problem:
+    dims = draw(st.integers(2, 4))
+    n_obj = draw(st.integers(1, 6))
+    n_fun = draw(st.integers(1, 5))
+    objects = tuple(
+        tuple(draw(_coord) for _ in range(dims)) for _ in range(n_obj)
+    )
+    functions = tuple(draw(_weights(dims)) for _ in range(n_fun))
+    ocaps = draw(
+        st.one_of(
+            st.none(),
+            st.lists(
+                st.integers(1, 4), min_size=n_obj, max_size=n_obj
+            ).map(tuple),
+        )
+    )
+    fcaps = draw(
+        st.one_of(
+            st.none(),
+            st.lists(
+                st.integers(1, 4), min_size=n_fun, max_size=n_fun
+            ).map(tuple),
+        )
+    )
+    gammas = draw(
+        st.one_of(
+            st.none(),
+            st.lists(
+                st.floats(min_value=0.5, max_value=4.0, allow_nan=False),
+                min_size=n_fun,
+                max_size=n_fun,
+            ).map(tuple),
+        )
+    )
+    method = draw(st.sampled_from(sorted(_METHOD_OPTIONS)))
+    options = {
+        name: draw(strategy)
+        for name, strategy in _METHOD_OPTIONS[method].items()
+        if draw(st.booleans())
+    }
+    return Problem(
+        objects=objects,
+        functions=functions,
+        object_capacities=ocaps,
+        function_capacities=fcaps,
+        priorities=gammas,
+        method=method,
+        options=options,
+        page_size=draw(st.sampled_from([512, 4096])),
+        memory_index=draw(st.sampled_from([None, True, False])),
+        buffer_fraction=draw(st.floats(0.01, 1.0, allow_nan=False)),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Problem round trips
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(problems())
+def test_problem_dict_round_trip_is_bit_identical(problem):
+    restored = Problem.from_dict(problem.to_dict())
+    assert restored == problem
+    assert restored.objects == problem.objects
+    assert restored.functions == problem.functions
+    assert restored.object_capacities == problem.object_capacities
+    assert restored.function_capacities == problem.function_capacities
+    assert restored.priorities == problem.priorities
+    assert dict(restored.options) == dict(problem.options)
+    assert restored.page_size == problem.page_size
+    assert restored.memory_index == problem.memory_index
+    assert restored.buffer_fraction == problem.buffer_fraction
+
+
+@settings(max_examples=60, deadline=None)
+@given(problems())
+def test_problem_json_round_trip_is_canonical(problem):
+    text = problem.to_json()
+    restored = Problem.from_json(text)
+    assert restored == problem
+    # Canonical form is a fixpoint: re-encoding yields the same bytes.
+    assert restored.to_json() == text
+    # And the payload is genuinely JSON (a service could ship it).
+    assert json.loads(text)["schema"] == "repro.problem/v1"
+
+
+# ---------------------------------------------------------------------------
+# Solution round trips
+# ---------------------------------------------------------------------------
+
+
+def test_solution_round_trip_preserves_pairs_and_stats():
+    from repro.api import AssignmentSession
+
+    fs, os_ = random_instance(6, 10, 3, seed=8, capacities=True)
+    with AssignmentSession(Problem.from_sets(os_, fs)) as session:
+        solution = session.solve()
+    restored = Solution.from_json(solution.to_json())
+    assert restored == solution
+    assert restored.pairs == solution.pairs  # scores bit-identical
+    assert restored.method == solution.method
+    assert restored.stats.io.physical_reads == solution.stats.io.physical_reads
+    assert restored.stats.io.logical_reads == solution.stats.io.logical_reads
+    assert restored.stats.loops == solution.stats.loops
+    assert restored.stats.counters == solution.stats.counters
+    assert restored.stats.cpu_seconds == solution.stats.cpu_seconds
+    # Lookups survive detachment from the session.
+    for pair in restored:
+        assert (pair.oid, pair.count) in restored.partner_of(pair.fid)
+
+
+def test_solution_without_stats_round_trips():
+    sol = Solution(pairs=(), method="dynamic")
+    assert Solution.from_dict(sol.to_dict()) == sol
+
+
+# ---------------------------------------------------------------------------
+# Strict decoding
+# ---------------------------------------------------------------------------
+
+
+def test_serde_rejects_wrong_schema_and_unknown_fields():
+    fs, os_ = random_instance(2, 3, 2, seed=9)
+    payload = Problem.from_sets(os_, fs).to_dict()
+    with pytest.raises(SerdeError):
+        Problem.from_dict({**payload, "schema": "repro.problem/v999"})
+    with pytest.raises(SerdeError):
+        Problem.from_dict({**payload, "surprise": 1})
+    with pytest.raises(SerdeError):
+        Problem.from_dict(
+            {**payload, "solver": {"method": "sb", "bogus": True}}
+        )
+    with pytest.raises(SerdeError):
+        Problem.from_dict({"schema": "repro.problem/v1"})
+    with pytest.raises(SerdeError):
+        Problem.from_json("{not json")
+    with pytest.raises(SerdeError):
+        Solution.from_dict({"schema": "repro.solution/v1", "method": "sb"})
+
+
+def test_every_named_solver_options_are_serializable():
+    """Every documented option name fits the JSON-scalar constraint."""
+    for method, accepted in SOLVER_OPTIONS.items():
+        assert all(isinstance(name, str) for name in accepted), method
+
+
+# ---------------------------------------------------------------------------
+# Deprecation shims
+# ---------------------------------------------------------------------------
+
+
+def test_deprecated_entry_points_warn_exactly_once():
+    repro._DEPRECATION_EMITTED.clear()
+    objects = repro.ObjectSet([(0.5, 0.5), (0.2, 0.8)])
+    functions = repro.FunctionSet([(1.0, 0.0)])
+    with warnings.catch_warnings(record=True) as record:
+        warnings.simplefilter("always")
+        index = repro.build_object_index(objects)
+        repro.build_object_index(objects)
+        repro.solve(functions, index)
+        repro.solve(functions, index)
+    messages = [
+        str(w.message)
+        for w in record
+        if issubclass(w.category, DeprecationWarning)
+    ]
+    assert len([m for m in messages if "repro.solve" in m]) == 1
+    assert len([m for m in messages if "repro.build_object_index" in m]) == 1
+
+
+def test_deprecated_entry_points_still_functional():
+    repro._DEPRECATION_EMITTED.clear()
+    objects = repro.ObjectSet([(0.5, 0.6), (0.2, 0.7), (0.8, 0.2), (0.4, 0.4)])
+    functions = repro.FunctionSet([(0.8, 0.2), (0.2, 0.8), (0.5, 0.5)])
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        index = repro.build_object_index(objects)
+        matching, stats = repro.solve(functions, index, method="sb")
+    assert {(p.fid, p.oid) for p in matching.pairs} == {(0, 2), (1, 1), (2, 0)}

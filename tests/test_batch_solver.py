@@ -137,3 +137,47 @@ def test_engine_config_method_gets_memory_index():
 
 def test_empty_batch():
     assert BatchSolver().solve_many([]) == []
+
+
+def test_fingerprint_freezes_catalogue_against_stale_cache_reuse():
+    """Regression: the fingerprint is memoized on the instance, so a
+    post-submit mutation of ``objects.points`` would silently reuse
+    the wrong cached index.  Submitting now freezes the catalogue."""
+    from repro.errors import FrozenInstanceError
+
+    fs, objects = random_instance(4, 12, 2, seed=77)
+    solver = BatchSolver(max_workers=1)
+    first = solver.solve_one(SolveJob(functions=fs, objects=objects))
+    assert objects.is_frozen
+
+    # Rebinding or mutating the frozen catalogue is rejected outright.
+    with pytest.raises(FrozenInstanceError):
+        objects.points = [(0.0, 0.0)]
+    with pytest.raises(FrozenInstanceError):
+        objects.capacities = [1] * len(objects)
+    with pytest.raises((TypeError, AttributeError)):
+        objects.points[0] = (0.0, 0.0)  # tuples refuse item assignment
+    with pytest.raises(AttributeError):
+        objects.points.append((0.0, 0.0))
+
+    # The frozen catalogue still solves and still hits the cache.
+    again = solver.solve_one(SolveJob(functions=fs, objects=objects))
+    assert again.index_cache_hit
+    assert again.matching.as_dict() == first.matching.as_dict()
+
+    # An edited *copy* is a different fingerprint => a fresh index.
+    edited = ObjectSet([(0.9, 0.9)] + list(objects.points[1:]))
+    assert object_set_fingerprint(edited) != object_set_fingerprint(objects)
+    other = solver.solve_one(SolveJob(functions=fs, objects=edited))
+    assert not other.index_cache_hit
+    assert other.matching.as_dict() != again.matching.as_dict()
+
+
+def test_freeze_is_idempotent_and_unfrozen_sets_stay_mutable():
+    _, objects = random_instance(1, 5, 2, seed=78)
+    assert not objects.is_frozen
+    objects.capacities = [2] * len(objects)  # mutable before freeze
+    objects.freeze()
+    assert objects.freeze() is objects  # idempotent
+    assert isinstance(objects.points, tuple)
+    assert isinstance(objects.capacities, tuple)

@@ -1,9 +1,7 @@
 """DominanceIndex must agree with the scalar dominance definition."""
 
-import random
 
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.rtree.geometry import dominates
 from repro.skyline.dominance import DominanceIndex

@@ -1,0 +1,87 @@
+"""``Matching.object_of`` / ``function_of`` lazily indexed lookups."""
+
+import random
+
+from repro.core.types import AssignedPair, Matching
+
+
+def scan_object_of(matching, fid):
+    return [(p.oid, p.count) for p in matching.pairs if p.fid == fid]
+
+
+def scan_function_of(matching, oid):
+    return [(p.fid, p.count) for p in matching.pairs if p.oid == oid]
+
+
+def test_lookups_match_linear_scan_semantics():
+    rng = random.Random(42)
+    m = Matching()
+    for _ in range(200):
+        m.add(rng.randrange(20), rng.randrange(30), rng.random(), rng.randint(1, 3))
+    for fid in range(22):
+        assert m.object_of(fid) == scan_object_of(m, fid)
+    for oid in range(32):
+        assert m.function_of(oid) == scan_function_of(m, oid)
+
+
+def test_index_extends_incrementally_after_lookups():
+    m = Matching()
+    m.add(0, 5, 0.9)
+    assert m.object_of(0) == [(5, 1)]
+    m.add(0, 6, 0.8)  # appended after the index was built
+    m.add(1, 5, 0.7)
+    assert m.object_of(0) == [(5, 1), (6, 1)]
+    assert m.function_of(5) == [(0, 1), (1, 1)]
+    assert m.object_of(99) == []
+
+
+def test_index_rebuilds_when_pairs_shrink_or_are_replaced():
+    m = Matching()
+    for fid in range(5):
+        m.add(fid, fid + 10, 0.5)
+    assert m.object_of(4) == [(14, 1)]
+    m.pairs[:] = m.pairs[:2]  # truncation invalidates
+    assert m.object_of(4) == []
+    assert m.object_of(1) == [(11, 1)]
+    m.pairs[:] = [AssignedPair(7, 8, 0.1), AssignedPair(7, 9, 0.2)]
+    assert m.object_of(7) == [(8, 1), (9, 1)]
+    assert m.object_of(1) == []
+
+
+def test_same_length_replacement_is_detected():
+    m = Matching(pairs=[AssignedPair(0, 1, 0.5), AssignedPair(2, 3, 0.4)])
+    assert m.object_of(0) == [(1, 1)]
+    m.pairs[:] = [AssignedPair(8, 1, 0.5), AssignedPair(9, 3, 0.4)]
+    assert m.object_of(0) == []
+    assert m.object_of(8) == [(1, 1)]
+
+
+def test_constructed_with_prebuilt_pairs():
+    pairs = [AssignedPair(1, 2, 0.3, 2), AssignedPair(1, 4, 0.2)]
+    m = Matching(pairs=pairs)
+    assert m.object_of(1) == [(2, 2), (4, 1)]
+    assert m.function_of(2) == [(1, 2)]
+    # dataclass semantics intact
+    assert m == Matching(pairs=list(pairs))
+    assert len(m) == 2
+
+
+def test_first_element_replacement_is_detected():
+    m = Matching()
+    m.add(0, 1, 0.5)
+    m.add(2, 3, 0.4)
+    assert m.object_of(0) == [(1, 1)]
+    m.pairs[0] = AssignedPair(8, 1, 0.5)  # tail untouched
+    assert m.object_of(8) == [(1, 1)]
+    assert m.object_of(0) == []
+
+
+def test_invalidate_index_covers_middle_surgery():
+    m = Matching()
+    for fid in range(5):
+        m.add(fid, fid + 10, 0.5)
+    assert m.object_of(2) == [(12, 1)]
+    m.pairs[2] = AssignedPair(99, 12, 0.5)  # both ends intact
+    m.invalidate_index()
+    assert m.object_of(99) == [(12, 1)]
+    assert m.object_of(2) == []

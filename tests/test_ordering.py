@@ -1,6 +1,6 @@
 """The canonical-order lemmas everything else relies on.
 
-DESIGN.md §2: the coordinate-lex component of the canonical orders
+The coordinate-lex component of the canonical orders (:mod:`repro.ordering`)
 guarantees (a) the canonical best object for any monotone linear
 function is a skyline member, and (b) the canonical best function for
 any object is a member of the (effective-weight) function skyline.
@@ -9,7 +9,6 @@ even under ties; they are tested here directly.
 """
 
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.ordering import function_key, neg, object_key, pair_key
 from repro.scoring import score

@@ -9,12 +9,24 @@ from repro.core import SOLVERS
 
 
 def test_version():
-    assert repro.__version__ == "1.0.0"
+    assert repro.__version__ == "1.1.0"
 
 
 def test_top_level_exports():
     for name in repro.__all__:
         assert getattr(repro, name, None) is not None, name
+
+
+def test_api_facade_exports():
+    """The repro.api surface re-exports everything it documents."""
+    import repro.api
+
+    for name in repro.api.__all__:
+        assert getattr(repro.api, name, None) is not None, name
+    # The facade value objects are also re-exported at top level.
+    for name in ("Problem", "ProblemBuilder", "AssignmentSession",
+                 "Solution", "SolutionDiff", "ReproError"):
+        assert getattr(repro, name) is getattr(repro.api, name), name
 
 
 def test_readme_quickstart_runs():
@@ -71,7 +83,10 @@ def test_every_solver_name_is_callable():
         "repro.data.real",
         "repro.bench", "repro.bench.config", "repro.bench.harness",
         "repro.bench.reporting",
-        "repro.ordering", "repro.scoring",
+        "repro.ordering", "repro.scoring", "repro.errors",
+        "repro.api", "repro.api.errors", "repro.api.events",
+        "repro.api.problem", "repro.api.serde", "repro.api.session",
+        "repro.api.solution",
     ],
 )
 def test_module_has_docstring(module):

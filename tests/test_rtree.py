@@ -1,6 +1,5 @@
 """R-tree tests: encoding round-trips, bulk load, insert/delete, search."""
 
-import random
 
 import pytest
 from hypothesis import given, settings
