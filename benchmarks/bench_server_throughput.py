@@ -1,0 +1,143 @@
+"""Serving-layer throughput: queued solves over a shared catalogue.
+
+Boots an embedded repro-server, replays a Zipf-skewed
+:func:`repro.data.generators.request_stream` workload (default: 200
+async solves by 16 concurrent clients over one shared catalogue, so
+the object R-tree is built once and every request reuses it), and
+records requests/sec plus p50/p99 end-to-end latency into
+``BENCH_server.json`` next to ``BENCH_engine.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_server_throughput.py --label pr3_server
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import threading
+import time
+from pathlib import Path
+
+from repro.data.generators import make_objects, request_stream
+from repro.server import Client, ServerConfig, serve_in_thread
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_server.json"
+
+
+def percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def run_benchmark(
+    requests: int,
+    clients: int,
+    n_objects: int,
+    dims: int,
+    max_cohort: int,
+    seed: int,
+) -> dict:
+    catalogue = make_objects(n_objects, dims, "anti-correlated", seed=seed)
+    workload = list(
+        request_stream(
+            requests,
+            [catalogue],
+            cohort_skew=1.5,
+            max_cohort=max_cohort,
+            seed=seed,
+        )
+    )
+    handle = serve_in_thread(
+        ServerConfig(
+            port=0,
+            queue_limit=max(64, requests),
+            solution_cache_size=0,  # measure solves, not cache replays
+        )
+    )
+    latencies: list[float] = []
+    latency_guard = threading.Lock()
+
+    def worker(worker_id: int) -> None:
+        with Client(handle.base_url) as client:
+            for request in workload[worker_id::clients]:
+                from repro.api import Problem
+
+                problem = Problem.from_sets(
+                    request.catalogue, request.functions, method="sb"
+                )
+                started = time.perf_counter()
+                job_id = client.submit(problem, timeout=120.0)
+                client.result(job_id, timeout=300.0)
+                with latency_guard:
+                    latencies.append(time.perf_counter() - started)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"bench-client-{i}")
+        for i in range(clients)
+    ]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+
+    with Client(handle.base_url) as client:
+        metrics = client.metrics()
+    handle.close()
+
+    assert len(latencies) == requests
+    return {
+        "requests": requests,
+        "clients": clients,
+        "n_objects": n_objects,
+        "dims": dims,
+        "max_cohort": max_cohort,
+        "wall_seconds": wall,
+        "requests_per_second": requests / wall,
+        "latency_p50_seconds": percentile(latencies, 0.50),
+        "latency_p99_seconds": percentile(latencies, 0.99),
+        "latency_mean_seconds": statistics.fmean(latencies),
+        "index_cache": metrics["index_cache"],
+        "queue_peak_depth": metrics["queue"]["peak_depth"],
+        "jobs_failed": metrics["queue"]["jobs_failed"],
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", required=True, help="snapshot name")
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--clients", type=int, default=16)
+    parser.add_argument("--objects", type=int, default=512)
+    parser.add_argument("--dims", type=int, default=3)
+    parser.add_argument("--max-cohort", type=int, default=16)
+    parser.add_argument("--seed", type=int, default=2)
+    args = parser.parse_args()
+
+    snapshot = run_benchmark(
+        args.requests, args.clients, args.objects, args.dims,
+        args.max_cohort, args.seed,
+    )
+    snapshot["python"] = platform.python_version()
+
+    results = {}
+    if RESULT_PATH.exists():
+        results = json.loads(RESULT_PATH.read_text())
+    results[args.label] = snapshot
+    RESULT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(
+        f"{args.label}: {snapshot['requests_per_second']:.1f} req/s, "
+        f"p50 {snapshot['latency_p50_seconds'] * 1e3:.1f} ms, "
+        f"p99 {snapshot['latency_p99_seconds'] * 1e3:.1f} ms "
+        f"({snapshot['index_cache']['misses']} index build(s)) -> {RESULT_PATH}"
+    )
+
+
+if __name__ == "__main__":
+    main()

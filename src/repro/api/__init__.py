@@ -43,6 +43,7 @@ from repro.api.events import (
     ObjectDeparted,
 )
 from repro.api.problem import Problem, ProblemBuilder
+from repro.api.serde import canonical_digest
 from repro.api.session import AssignmentSession
 from repro.api.solution import Solution, SolutionDiff
 from repro.errors import (
@@ -51,6 +52,8 @@ from repro.errors import (
     InvalidSolverOptionError,
     ReproError,
     SerdeError,
+    ServerBusyError,
+    ServerError,
     SessionClosedError,
     UnknownSolverError,
 )
@@ -69,8 +72,11 @@ __all__ = [
     "ProblemBuilder",
     "ReproError",
     "SerdeError",
+    "ServerBusyError",
+    "ServerError",
     "SessionClosedError",
     "Solution",
     "SolutionDiff",
     "UnknownSolverError",
+    "canonical_digest",
 ]

@@ -20,9 +20,12 @@ from functools import cached_property
 from types import MappingProxyType
 from typing import Any
 
+from pathlib import Path
+
 from repro.api.serde import (
     PROBLEM_SCHEMA,
     SCHEMA_KEY,
+    canonical_digest,
     check_payload,
     from_json,
     to_canonical_json,
@@ -355,6 +358,52 @@ class Problem:
     @classmethod
     def from_json(cls, text: str | bytes) -> "Problem":
         return cls.from_dict(from_json(text))
+
+    def to_file(self, path: str | Path) -> Path:
+        """Write the canonical JSON payload to ``path``; returns it."""
+        target = Path(path)
+        target.write_text(self.to_json() + "\n", encoding="utf-8")
+        return target
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "Problem":
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise SerdeError(f"cannot read problem file {path!s}: {exc}") from exc
+        return cls.from_json(text)
+
+    # -- content addressing --------------------------------------------
+
+    def digest(self) -> str:
+        """Stable content address of the whole problem (catalogue,
+        cohort, solver selection, index settings) — the registration
+        identity at a service boundary."""
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = self.__dict__["_digest"] = canonical_digest(self.to_dict())
+        return cached
+
+    def instance_digest(self) -> str:
+        """Content address of the *instance* alone: the solver section
+        is excluded, so ``p.with_method(...)`` variants share it (and
+        thus share index/result cache locality downstream)."""
+        cached = self.__dict__.get("_instance_digest")
+        if cached is None:
+            payload = self.to_dict()
+            del payload["solver"]
+            cached = self.__dict__["_instance_digest"] = canonical_digest(payload)
+        return cached
+
+    def solve_key(self) -> tuple[str, str, str]:
+        """``(instance_digest, method, canonical options JSON)`` — the
+        result-cache identity used by :mod:`repro.server`: two problems
+        with this key equal produce bit-identical solutions."""
+        return (
+            self.instance_digest(),
+            self.method,
+            to_canonical_json(dict(self.options)),
+        )
 
 
 class ProblemBuilder:

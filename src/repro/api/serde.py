@@ -12,6 +12,7 @@ Floats survive the round trip bit-identically: ``json`` serializes via
 
 from __future__ import annotations
 
+import hashlib
 import json
 from collections.abc import Mapping
 from typing import Any
@@ -59,10 +60,23 @@ def from_json(text: str | bytes) -> Any:
         raise SerdeError(f"malformed JSON payload: {exc}") from exc
 
 
+def canonical_digest(payload: dict) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding.
+
+    Because :func:`to_canonical_json` is deterministic (sorted keys,
+    fixed separators, exact float ``repr``), structurally identical
+    payloads digest equally across processes — the content-address
+    the serving layer uses for problem registration dedup and result
+    cache keys.
+    """
+    return hashlib.sha256(to_canonical_json(payload).encode("utf-8")).hexdigest()
+
+
 __all__ = [
     "PROBLEM_SCHEMA",
     "SCHEMA_KEY",
     "SOLUTION_SCHEMA",
+    "canonical_digest",
     "check_payload",
     "from_json",
     "to_canonical_json",

@@ -12,6 +12,7 @@ from __future__ import annotations
 from collections.abc import Iterator, Mapping
 from dataclasses import dataclass, field
 from functools import cached_property
+from pathlib import Path
 
 from repro.api.problem import Problem
 from repro.api.serde import (
@@ -229,6 +230,20 @@ class Solution:
     @classmethod
     def from_json(cls, text: str | bytes) -> "Solution":
         return cls.from_dict(from_json(text))
+
+    def to_file(self, path: str | Path) -> Path:
+        """Write the canonical JSON payload to ``path``; returns it."""
+        target = Path(path)
+        target.write_text(self.to_json() + "\n", encoding="utf-8")
+        return target
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "Solution":
+        try:
+            text = Path(path).read_text(encoding="utf-8")
+        except OSError as exc:
+            raise SerdeError(f"cannot read solution file {path!s}: {exc}") from exc
+        return cls.from_json(text)
 
 
 __all__ = ["Solution", "SolutionDiff"]

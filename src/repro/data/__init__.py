@@ -10,18 +10,22 @@ substitutes (see :mod:`repro.data.real` for the rationale).
 """
 
 from repro.data.generators import (
+    CohortRequest,
     anti_correlated_points,
     clustered_weights,
     correlated_points,
     independent_points,
     make_functions,
     make_objects,
+    request_stream,
     uniform_weights,
+    zipf_probabilities,
 )
 from repro.data.instances import FunctionSet, ObjectSet
 from repro.data.real import nba_like, zillow_like
 
 __all__ = [
+    "CohortRequest",
     "FunctionSet",
     "ObjectSet",
     "anti_correlated_points",
@@ -31,6 +35,8 @@ __all__ = [
     "make_functions",
     "make_objects",
     "nba_like",
+    "request_stream",
     "uniform_weights",
     "zillow_like",
+    "zipf_probabilities",
 ]

@@ -17,6 +17,9 @@ Function weights are drawn independently and normalized to sum to 1
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.data.instances import FunctionSet, ObjectSet
@@ -150,6 +153,89 @@ def random_priorities(n: int, max_gamma: int, seed=None) -> list[float]:
         raise ValueError("max_gamma must be >= 1")
     rng = _rng(seed)
     return [float(g) for g in rng.integers(1, max_gamma + 1, n)]
+
+
+def zipf_probabilities(n: int, s: float) -> np.ndarray:
+    """Bounded Zipf pmf over ranks ``1..n``: ``p(r) ∝ r^-s``.
+
+    ``s=0`` degenerates to uniform; larger ``s`` concentrates mass on
+    the first ranks.  Bounded (unlike ``numpy.random.zipf``) so it can
+    drive choices over a finite catalogue set or size range.
+    """
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    if s < 0:
+        raise ValueError("zipf exponent must be >= 0")
+    weights = np.arange(1, n + 1, dtype=np.float64) ** -s
+    return weights / weights.sum()
+
+
+@dataclass(frozen=True)
+class CohortRequest:
+    """One simulated arrival: a preference cohort against a catalogue.
+
+    ``catalogue`` is shared *by identity* across requests hitting the
+    same catalogue rank, so downstream index caches see genuine reuse.
+    """
+
+    request_id: int
+    catalogue_id: int
+    catalogue: ObjectSet
+    functions: FunctionSet
+
+
+def request_stream(
+    n_requests: int,
+    catalogues: int | Sequence[ObjectSet] = 4,
+    *,
+    n_objects: int = 512,
+    dims: int = 3,
+    distribution: str = "anti-correlated",
+    catalogue_skew: float = 1.1,
+    cohort_skew: float = 1.5,
+    max_cohort: int = 64,
+    seed=None,
+) -> Iterator[CohortRequest]:
+    """Zipf-skewed request arrivals for load-testing the serving layer.
+
+    Models the two skews real assignment services see (conference
+    cohorts, seminar allocation rounds): *catalogue popularity* — a few
+    hot catalogues take most of the traffic (``catalogue_skew`` over
+    catalogue rank, so rank 0 is the hottest) — and *cohort size* —
+    most arrivals are small cohorts with a heavy tail of large ones
+    (``cohort_skew`` over sizes ``1..max_cohort``).  Pass prebuilt
+    ``catalogues`` to control them, or an int to synthesize that many
+    with :func:`make_objects` (``n_objects``/``dims``/``distribution``).
+    """
+    if n_requests < 0:
+        raise ValueError("n_requests must be >= 0")
+    if max_cohort < 1:
+        raise ValueError("max_cohort must be >= 1")
+    rng = _rng(seed)
+    if isinstance(catalogues, int):
+        if catalogues < 1:
+            raise ValueError("need at least one catalogue")
+        pool = [
+            make_objects(n_objects, dims, distribution, seed=rng)
+            for _ in range(catalogues)
+        ]
+    else:
+        pool = list(catalogues)
+        if not pool:
+            raise ValueError("need at least one catalogue")
+    catalogue_p = zipf_probabilities(len(pool), catalogue_skew)
+    sizes = np.arange(1, max_cohort + 1)
+    size_p = zipf_probabilities(max_cohort, cohort_skew)
+    for request_id in range(n_requests):
+        catalogue_id = int(rng.choice(len(pool), p=catalogue_p))
+        catalogue = pool[catalogue_id]
+        cohort_size = int(rng.choice(sizes, p=size_p))
+        yield CohortRequest(
+            request_id=request_id,
+            catalogue_id=catalogue_id,
+            catalogue=catalogue,
+            functions=make_functions(cohort_size, catalogue.dims, seed=rng),
+        )
 
 
 def random_capacities(n: int, k: int, seed=None, fixed: bool = True) -> list[int]:

@@ -82,12 +82,47 @@ class SessionClosedError(ReproError, RuntimeError):
     """An operation was attempted on a closed :class:`AssignmentSession`."""
 
 
+class ServerError(ReproError):
+    """A :mod:`repro.server` request failed.
+
+    Raised client-side for any non-success HTTP status; ``status`` is
+    the numeric code (``None`` for transport failures) and ``payload``
+    the decoded error body when the server sent one.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int | None = None,
+        payload: object = None,
+    ):
+        self.status = status
+        self.payload = payload
+        super().__init__(message)
+
+
+class ServerBusyError(ServerError):
+    """The server's job queue is saturated (HTTP 429); ``retry_after``
+    is the server-suggested backoff in seconds."""
+
+    def __init__(
+        self,
+        message: str,
+        retry_after: float = 1.0,
+        payload: object = None,
+    ):
+        self.retry_after = float(retry_after)
+        super().__init__(message, status=429, payload=payload)
+
+
 __all__ = [
     "FrozenInstanceError",
     "InvalidProblemError",
     "InvalidSolverOptionError",
     "ReproError",
     "SerdeError",
+    "ServerBusyError",
+    "ServerError",
     "SessionClosedError",
     "UnknownSolverError",
 ]

@@ -1,0 +1,55 @@
+"""repro.server — the network-facing front of the assignment stack.
+
+A stdlib-only asyncio JSON-over-HTTP server that makes the ROADMAP's
+"heavy traffic" story executable end to end::
+
+    api (Problem/Session/Solution)  ←  this layer serves it over HTTP
+      └─ service (BatchSolver + shared ObjectIndex cache)
+           └─ engine / core
+
+Run it standalone::
+
+    python -m repro.server --port 8000        # or the repro-server script
+
+or embed it (tests, examples, benchmarks)::
+
+    from repro.server import Client, ServerConfig, running_server
+
+    with running_server(ServerConfig(port=0)) as handle:
+        with Client(handle.base_url) as client:
+            problem_id = client.register(problem)
+            solution = client.solve(problem_id)
+
+Endpoints: problem registration (deduplicated by content digest),
+synchronous solve, async job submission + polling, solution
+retrieval/diff, ``/metrics`` and ``/healthz``.  Overload answers
+HTTP 429 with ``Retry-After`` (see
+:class:`~repro.server.jobs.AdmissionController`).
+"""
+
+from repro.server.app import (
+    ReproServer,
+    ServerConfig,
+    ServerHandle,
+    running_server,
+    serve_in_thread,
+)
+from repro.server.cache import SolutionCache
+from repro.server.client import Client
+from repro.server.jobs import AdmissionController, Job, JobStore
+from repro.server.metrics import LatencyHistogram, ServerMetrics
+
+__all__ = [
+    "AdmissionController",
+    "Client",
+    "Job",
+    "JobStore",
+    "LatencyHistogram",
+    "ReproServer",
+    "ServerConfig",
+    "ServerHandle",
+    "ServerMetrics",
+    "SolutionCache",
+    "running_server",
+    "serve_in_thread",
+]

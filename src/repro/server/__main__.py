@@ -1,0 +1,82 @@
+"""Console entry point: ``python -m repro.server`` / ``repro-server``.
+
+Announces the bound address on stdout once the socket is listening —
+``--port 0`` picks an ephemeral port, so supervisors (and the CI smoke
+job) parse the announcement line rather than guessing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+
+from repro.server.app import ReproServer, ServerConfig
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-server",
+        description="Serve fair-assignment solves over JSON/HTTP.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8000,
+        help="TCP port; 0 binds an ephemeral port (announced on stdout)",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=64,
+        help="max queued+running solves before requests get 429",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="solver thread-pool size (default: executor default)",
+    )
+    parser.add_argument(
+        "--pump-tasks", type=int, default=8,
+        help="async jobs concurrently in flight",
+    )
+    parser.add_argument("--solution-cache-size", type=int, default=256)
+    parser.add_argument("--index-cache-size", type=int, default=32)
+    parser.add_argument(
+        "--retry-after", type=float, default=1.0,
+        help="Retry-After hint (seconds) on 429 responses",
+    )
+    parser.add_argument(
+        "--log-level", default="INFO",
+        choices=["DEBUG", "INFO", "WARNING", "ERROR"],
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=getattr(logging, args.log_level),
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        queue_limit=args.queue_limit,
+        workers=args.workers,
+        pump_tasks=args.pump_tasks,
+        solution_cache_size=args.solution_cache_size,
+        index_cache_size=args.index_cache_size,
+        retry_after_seconds=args.retry_after,
+    )
+    server = ReproServer(config)
+
+    def announce(started: ReproServer) -> None:
+        print(
+            f"repro-server listening on http://{config.host}:{started.port}",
+            flush=True,
+        )
+
+    try:
+        server.serve_forever(on_started=announce)
+    except KeyboardInterrupt:
+        pass
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,284 @@
+"""Blocking HTTP client for :mod:`repro.server` — stdlib only.
+
+Speaks the server's JSON protocol over one keep-alive
+:class:`http.client.HTTPConnection` (reconnecting transparently when
+the peer drops it), translates error responses into the
+:class:`~repro.errors.ServerError` hierarchy, and re-hydrates wire
+payloads into the same :class:`Problem` / :class:`Solution` value
+objects the in-process API returns — a solution fetched over the wire
+is ``==`` to one solved locally.
+
+Not thread-safe: use one ``Client`` per thread (they are cheap).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import http.client
+import json
+import time
+
+from repro.api.problem import Problem
+from repro.api.solution import Solution
+from repro.errors import ServerBusyError, ServerError
+
+
+class Client:
+    """Blocking client bound to one server base URL."""
+
+    def __init__(
+        self,
+        base_url: str | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        timeout: float = 60.0,
+    ):
+        if base_url is not None:
+            if not base_url.startswith("http://"):
+                raise ValueError(f"expected an http:// base URL, got {base_url!r}")
+            authority = base_url[len("http://") :].rstrip("/")
+            host, _, port_text = authority.partition(":")
+            port = int(port_text) if port_text else 80
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+        # Problems this client has registered, for re-attaching to
+        # solutions so ``.verify()`` works without another fetch.
+        self._known: dict[str, Problem] = {}
+
+    # -- transport -----------------------------------------------------
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, payload=None):
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        for attempt in (1, 2):
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._conn.request(method, path, body=body, headers=headers)
+                response = self._conn.getresponse()
+                data = response.read()
+                break
+            except (
+                http.client.RemoteDisconnected,
+                http.client.CannotSendRequest,
+                http.client.BadStatusLine,
+                BrokenPipeError,
+                ConnectionResetError,
+            ):
+                # A keep-alive connection the server has since closed;
+                # reconnect once, then let the failure surface.
+                self.close()
+                if attempt == 2:
+                    raise
+        if response.will_close:
+            self.close()
+        decoded = None
+        if data:
+            try:
+                decoded = json.loads(data)
+            except ValueError as exc:
+                raise ServerError(
+                    f"non-JSON response body from {method} {path}: {exc}",
+                    status=response.status,
+                ) from exc
+        if response.status == 429:
+            retry_after = response.headers.get("Retry-After", "1")
+            try:
+                delay = float(retry_after)
+            except ValueError:
+                delay = 1.0
+            raise ServerBusyError(
+                (decoded or {}).get("error", "server busy"),
+                retry_after=delay,
+                payload=decoded,
+            )
+        if response.status >= 400:
+            message = (
+                decoded.get("error")
+                if isinstance(decoded, dict) and "error" in decoded
+                else f"{method} {path} -> HTTP {response.status}"
+            )
+            raise ServerError(message, status=response.status, payload=decoded)
+        return response.status, decoded
+
+    # -- protocol ------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")[1]
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")[1]
+
+    def register(self, problem: Problem) -> str:
+        """Register (or re-find) a problem; returns its server id."""
+        _, body = self._request("POST", "/v1/problems", problem.to_dict())
+        problem_id = body["problem_id"]
+        self._known[problem_id] = problem
+        return problem_id
+
+    def problem(self, problem_id: str) -> Problem:
+        _, body = self._request("GET", f"/v1/problems/{problem_id}")
+        problem = Problem.from_dict(body)
+        self._known[problem_id] = problem
+        return problem
+
+    def _target(self, problem: Problem | str) -> str:
+        if isinstance(problem, Problem):
+            return self.register(problem)
+        return problem
+
+    def _attach(
+        self,
+        solution: Solution,
+        problem_id: str,
+        method: str | None = None,
+        options: dict | None = None,
+    ) -> Solution:
+        """Re-attach the registered base :class:`Problem` so
+        ``solution.verify()`` works — but only when the solve actually
+        used that problem's solver selection (``method`` / ``options``
+        are what the server reports it solved with; ``None`` = no
+        check).  An overridden solve stays detached: attaching the
+        base would misreport which options produced the result."""
+        base = self._known.get(problem_id)
+        if base is None:
+            return solution
+        if method is not None and method != base.method:
+            return solution
+        if options is not None and dict(options) != dict(base.options):
+            return solution
+        return dataclasses.replace(solution, problem=base)
+
+    def solve(
+        self,
+        problem: Problem | str,
+        *,
+        method: str | None = None,
+        options: dict | None = None,
+        timeout: float = 120.0,
+    ) -> Solution:
+        """Synchronous solve; retries politely on 429 until ``timeout``."""
+        problem_id = self._target(problem)
+        overrides: dict = {}
+        if method is not None:
+            overrides["method"] = method
+        if options is not None:
+            overrides["options"] = options
+        body = self._retry_busy(
+            lambda: self._request(
+                "POST", f"/v1/problems/{problem_id}/solve", overrides or None
+            ),
+            timeout,
+        )
+        solution = Solution.from_dict(body["solution"])
+        if overrides:
+            return solution  # detached: the base Problem would lie
+        return self._attach(solution, problem_id)
+
+    def submit(
+        self,
+        problem: Problem | str,
+        *,
+        method: str | None = None,
+        options: dict | None = None,
+        timeout: float | None = None,
+    ) -> str:
+        """Enqueue an async solve; returns the job id.
+
+        With ``timeout=None`` a saturated queue raises
+        :class:`~repro.errors.ServerBusyError` immediately (the caller
+        owns backoff); with a timeout the client honours ``Retry-After``
+        and retries until admitted or out of time.
+        """
+        problem_id = self._target(problem)
+        payload: dict = {"problem_id": problem_id}
+        if method is not None:
+            payload["method"] = method
+        if options is not None:
+            payload["options"] = options
+        def request():
+            return self._request("POST", "/v1/jobs", payload)
+
+        if timeout is None:
+            _, body = request()
+        else:
+            body = self._retry_busy(request, timeout)
+        return body["job_id"]
+
+    def job(self, job_id: str, *, include_solution: bool = True) -> dict:
+        suffix = "" if include_solution else "?solution=0"
+        return self._request("GET", f"/v1/jobs/{job_id}{suffix}")[1]
+
+    def result(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 120.0,
+        poll_interval: float = 0.02,
+    ) -> Solution:
+        """Poll a job to completion; returns its :class:`Solution`."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.job(job_id, include_solution=False)
+            if status["status"] == "done":
+                _, payload = self._request("GET", f"/v1/jobs/{job_id}/solution")
+                solution = Solution.from_dict(payload)
+                return self._attach(
+                    solution,
+                    status["problem_id"],
+                    status["method"],
+                    status.get("options"),
+                )
+            if status["status"] == "failed":
+                raise ServerError(
+                    f"job {job_id} failed: {status['error']}",
+                    status=409,
+                    payload=status,
+                )
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['status']} after {timeout}s"
+                )
+            time.sleep(poll_interval)
+
+    def diff(self, job_a: str, job_b: str) -> dict:
+        """Unit-level delta between two completed jobs' solutions."""
+        return self._request("GET", f"/v1/diff?a={job_a}&b={job_b}")[1]
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _retry_busy(request, timeout: float):
+        """Run ``request`` honouring 429 ``Retry-After`` backoff."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                _, body = request()
+                return body
+            except ServerBusyError as busy:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise
+                time.sleep(min(max(busy.retry_after, 0.01), remaining))
+
+
+__all__ = ["Client", "ServerBusyError", "ServerError"]

@@ -1,0 +1,156 @@
+"""Job lifecycle: admission control, the bounded queue, job records.
+
+Admission is a single counter over *live* solves — queued plus
+running, synchronous and asynchronous alike — against a configured
+limit.  A request that would push the counter past the limit is turned
+away at the door with HTTP 429 + ``Retry-After`` instead of being
+buffered without bound: under sustained overload the server sheds load
+early and keeps latency for admitted work flat, which is the whole
+point of backpressure.
+
+Finished jobs are kept for polling, bounded by ``history_limit``:
+oldest *finished* records are dropped first, live ones never.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.api.problem import Problem
+from repro.api.solution import Solution
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+
+class AdmissionController:
+    """Bounded live-work counter with a saturation high-water mark."""
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ValueError("admission limit must be >= 1")
+        self.limit = limit
+        self._guard = threading.Lock()
+        self.depth = 0
+        self.peak_depth = 0
+
+    def try_acquire(self) -> bool:
+        with self._guard:
+            if self.depth >= self.limit:
+                return False
+            self.depth += 1
+            self.peak_depth = max(self.peak_depth, self.depth)
+            return True
+
+    def release(self) -> None:
+        with self._guard:
+            if self.depth <= 0:
+                raise RuntimeError("release() without a matching acquire")
+            self.depth -= 1
+
+    def info(self) -> dict[str, int]:
+        with self._guard:
+            return {
+                "depth": self.depth,
+                "peak_depth": self.peak_depth,
+                "limit": self.limit,
+            }
+
+
+@dataclass
+class Job:
+    """One asynchronous solve from submission to completion."""
+
+    job_id: str
+    problem_id: str
+    problem: Problem = field(repr=False)
+    status: str = QUEUED
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    wall_seconds: float | None = None
+    cache_hit: bool | None = None
+    solution: Solution | None = field(default=None, repr=False)
+    error: str | None = None
+
+    @property
+    def finished(self) -> bool:
+        return self.status in (DONE, FAILED)
+
+    def to_dict(self, include_solution: bool = True) -> dict:
+        payload = {
+            "job_id": self.job_id,
+            "problem_id": self.problem_id,
+            "method": self.problem.method,
+            "options": dict(self.problem.options),
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "wall_seconds": self.wall_seconds,
+            "cache_hit": self.cache_hit,
+            "error": self.error,
+        }
+        if include_solution:
+            payload["solution"] = (
+                self.solution.to_dict() if self.solution is not None else None
+            )
+        return payload
+
+
+class JobStore:
+    """Sequentially-numbered job records with bounded finished history."""
+
+    def __init__(self, history_limit: int = 1024):
+        if history_limit < 1:
+            raise ValueError("history_limit must be >= 1")
+        self.history_limit = history_limit
+        self._jobs: dict[str, Job] = {}
+        self._seq = itertools.count(1)
+
+    def create(self, problem_id: str, problem: Problem) -> Job:
+        job = Job(
+            job_id=f"job-{next(self._seq):08d}",
+            problem_id=problem_id,
+            problem=problem,
+        )
+        self._jobs[job.job_id] = job
+        self._trim()
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def _trim(self) -> None:
+        if len(self._jobs) <= self.history_limit:
+            return
+        # dicts iterate in insertion order == submission order; drop
+        # the oldest *finished* jobs only — a live job must stay
+        # pollable no matter how fast history churns.
+        excess = len(self._jobs) - self.history_limit
+        stale = [
+            job_id
+            for job_id, job in self._jobs.items()
+            if job.finished
+        ][:excess]
+        for job_id in stale:
+            del self._jobs[job_id]
+
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "QUEUED",
+    "RUNNING",
+    "AdmissionController",
+    "Job",
+    "JobStore",
+]

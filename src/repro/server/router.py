@@ -1,0 +1,73 @@
+"""Route table: ``(method, path template) -> async handler``.
+
+Templates use ``{name}`` placeholders matching one path segment
+(``/v1/problems/{pid}/solve``); captured segments are passed to the
+handler as keyword arguments.  A path that matches a template under a
+different HTTP method resolves to 405 with an ``Allow`` header rather
+than 404, so clients can tell a typo from a wrong verb.
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Awaitable, Callable
+from dataclasses import dataclass
+
+from repro.server.http import Request, Response
+
+Handler = Callable[..., Awaitable[Response]]
+
+_PLACEHOLDER = re.compile(r"\{(\w+)\}")
+
+
+def _compile(template: str) -> re.Pattern[str]:
+    parts: list[str] = []
+    pos = 0
+    for placeholder in _PLACEHOLDER.finditer(template):
+        parts.append(re.escape(template[pos : placeholder.start()]))
+        parts.append(f"(?P<{placeholder.group(1)}>[^/]+)")
+        pos = placeholder.end()
+    parts.append(re.escape(template[pos:]))
+    return re.compile("^" + "".join(parts) + "$")
+
+
+@dataclass(frozen=True)
+class Route:
+    method: str
+    template: str
+    pattern: re.Pattern[str]
+    handler: Handler
+
+
+class Router:
+    def __init__(self) -> None:
+        self._routes: list[Route] = []
+
+    def add(self, method: str, template: str, handler: Handler) -> None:
+        self._routes.append(
+            Route(method.upper(), template, _compile(template), handler)
+        )
+
+    def dispatch(
+        self, request: Request
+    ) -> tuple[Handler, dict[str, str]] | Response:
+        """The matching ``(handler, path params)``, or a ready-made
+        404/405 :class:`Response`."""
+        allowed: set[str] = set()
+        for route in self._routes:
+            match = route.pattern.match(request.path)
+            if match is None:
+                continue
+            if route.method == request.method:
+                return route.handler, match.groupdict()
+            allowed.add(route.method)
+        if allowed:
+            return Response.json(
+                {"error": f"method {request.method} not allowed for {request.path}"},
+                status=405,
+                **{"Allow": ", ".join(sorted(allowed))},
+            )
+        return Response.error(404, f"no route for {request.path}")
+
+
+__all__ = ["Handler", "Route", "Router"]

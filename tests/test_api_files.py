@@ -1,0 +1,83 @@
+"""Problem/Solution file round trips and the content-address helpers."""
+
+import pytest
+
+from repro.api import AssignmentSession, Problem, SerdeError, Solution, canonical_digest
+
+
+def make_problem(method="sb", **options):
+    return (
+        Problem.builder()
+        .add_objects([(0.5, 0.6), (0.2, 0.7), (0.8, 0.2), (0.4, 0.4)])
+        .add_functions(
+            [(0.8, 0.2), (0.2, 0.8), (0.5, 0.5)],
+            priorities=[2.0, 1.0, 1.0],
+            capacities=[1, 2, 1],
+        )
+        .solver(method, **options)
+        .build()
+    )
+
+
+def test_problem_file_round_trip(tmp_path):
+    problem = make_problem()
+    path = problem.to_file(tmp_path / "problem.json")
+    assert path.read_text().endswith("\n")
+    assert Problem.from_file(path) == problem
+    assert Problem.from_file(str(path)).digest() == problem.digest()
+
+
+def test_solution_file_round_trip(tmp_path):
+    problem = make_problem()
+    with AssignmentSession(problem) as session:
+        solution = session.solve()
+    path = solution.to_file(tmp_path / "solution.json")
+    loaded = Solution.from_file(path)
+    assert loaded == solution
+    assert loaded.to_dict() == solution.to_dict()  # stats round-trip too
+
+
+def test_from_file_missing_path_raises_serde_error(tmp_path):
+    with pytest.raises(SerdeError):
+        Problem.from_file(tmp_path / "nope.json")
+    with pytest.raises(SerdeError):
+        Solution.from_file(tmp_path / "nope.json")
+
+
+def test_from_file_rejects_wrong_schema(tmp_path):
+    problem = make_problem()
+    path = problem.to_file(tmp_path / "p.json")
+    with pytest.raises(SerdeError):
+        Solution.from_file(path)  # a problem payload is not a solution
+
+
+def test_digest_is_content_addressed():
+    assert make_problem().digest() == make_problem().digest()
+    assert make_problem().digest() != make_problem("chain").digest()
+    # digest memoization survives repeated calls
+    p = make_problem()
+    assert p.digest() is p.digest()
+
+
+def test_instance_digest_ignores_solver_selection():
+    base = make_problem()
+    assert base.instance_digest() == make_problem("chain").instance_digest()
+    assert (
+        base.with_method("sb", omega_fraction=0.1).instance_digest()
+        == base.instance_digest()
+    )
+    other = base.with_objects([(0.1, 0.1), (0.9, 0.9), (0.3, 0.8)])
+    assert other.instance_digest() != base.instance_digest()
+
+
+def test_solve_key_separates_method_and_options():
+    base = make_problem()
+    same = make_problem()
+    assert base.solve_key() == same.solve_key()
+    assert base.solve_key() != base.with_method("chain").solve_key()
+    assert base.solve_key() != base.with_options(omega_fraction=0.1).solve_key()
+
+
+def test_canonical_digest_is_order_insensitive():
+    assert canonical_digest({"a": 1, "b": 2}) == canonical_digest({"b": 2, "a": 1})
+    assert canonical_digest({"a": 1}) != canonical_digest({"a": 2})

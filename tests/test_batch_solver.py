@@ -173,6 +173,112 @@ def test_fingerprint_freezes_catalogue_against_stale_cache_reuse():
     assert other.matching.as_dict() != again.matching.as_dict()
 
 
+def test_eviction_racing_inflight_build_hands_out_correct_indexes(monkeypatch):
+    """A cache bounded to one entry under concurrent `get`s for many
+    distinct catalogues: entries are evicted while other builds are
+    still in flight, yet every caller must receive a fully-built index
+    for *its* catalogue — never a partially-built or stale one."""
+    import threading
+    import time as _time
+
+    import repro.service.batch as batch_mod
+
+    real_build = batch_mod.build_object_index
+    build_log = []
+    build_guard = threading.Lock()
+
+    def slow_build(objects, page_size=4096, buffer_fraction=0.02, memory=False):
+        with build_guard:
+            build_log.append(object_set_fingerprint(objects))
+        _time.sleep(0.02)  # widen the eviction-vs-build race window
+        return real_build(objects, page_size=page_size, memory=memory)
+
+    monkeypatch.setattr(batch_mod, "build_object_index", slow_build)
+    cache = ObjectIndexCache(max_entries=1)
+    sets = [random_instance(1, 8 + i, 2, seed=900 + i)[1] for i in range(6)]
+    results = [None] * len(sets)
+    errors = []
+    barrier = threading.Barrier(len(sets))
+
+    def fetch(i):
+        try:
+            barrier.wait()
+            index, run_lock, _ = cache.get(sets[i], 256, False)
+            results[i] = (index, run_lock)
+        except Exception as exc:  # surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=fetch, args=(i,)) for i in range(len(sets))]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert not errors
+    for i, (index, run_lock) in enumerate(results):
+        # fully built, and for the right catalogue (not a stale reuse)
+        assert index is not None and index.tree is not None
+        assert index.objects is sets[i]
+        assert len(index.objects) == 8 + i
+        assert run_lock is not None
+    # the bound still holds after the storm
+    assert cache.info()["entries"] == 1
+    assert set(build_log) == {object_set_fingerprint(s) for s in sets}
+
+
+def test_concurrent_gets_for_one_catalogue_build_exactly_once(monkeypatch):
+    """Racers on the same catalogue serialize on the entry's build
+    lock: one bulk-load total, everyone shares the identical index."""
+    import threading
+    import time as _time
+
+    import repro.service.batch as batch_mod
+
+    real_build = batch_mod.build_object_index
+    build_count = []
+
+    def slow_build(objects, page_size=4096, buffer_fraction=0.02, memory=False):
+        build_count.append(1)
+        _time.sleep(0.02)
+        return real_build(objects, page_size=page_size, memory=memory)
+
+    monkeypatch.setattr(batch_mod, "build_object_index", slow_build)
+    cache = ObjectIndexCache(max_entries=4)
+    _, objects = random_instance(1, 20, 3, seed=911)
+    results = []
+    barrier = threading.Barrier(8)
+
+    def fetch():
+        barrier.wait()
+        index, _, _ = cache.get(objects, 512, False)
+        results.append(index)
+
+    threads = [threading.Thread(target=fetch) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert len(build_count) == 1
+    assert len({id(index) for index in results}) == 1
+    assert cache.info() == {"hits": 7, "misses": 1, "entries": 1}
+
+
+def test_batch_solver_results_correct_under_lru_eviction_churn():
+    """BatchSolver with a one-entry index cache and a full worker pool:
+    every job's matching still equals the reference oracle even though
+    indexes are evicted and rebuilt under the jobs' feet."""
+    jobs = make_jobs(n_catalogues=4, cohorts_per_catalogue=2)
+    solver = BatchSolver(max_workers=8, index_cache_size=1)
+    results = solver.solve_many(jobs)
+    for job, res in zip(jobs, results):
+        expected = greedy_assign(job.functions, job.objects).matching.as_dict()
+        assert res.matching.as_dict() == expected, res.job_id
+    info = solver.cache_info()
+    assert info["entries"] == 1
+    assert info["hits"] + info["misses"] == len(jobs)
+
+
 def test_freeze_is_idempotent_and_unfrozen_sets_stay_mutable():
     _, objects = random_instance(1, 5, 2, seed=78)
     assert not objects.is_frozen

@@ -1,0 +1,86 @@
+"""The Zipf-skewed request-arrival generator used for server load tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.generators import (
+    CohortRequest,
+    make_objects,
+    request_stream,
+    zipf_probabilities,
+)
+
+
+def test_zipf_probabilities_shape_and_order():
+    p = zipf_probabilities(10, 1.2)
+    assert p.shape == (10,)
+    assert p.sum() == pytest.approx(1.0)
+    assert all(p[i] > p[i + 1] for i in range(9))  # strictly rank-decreasing
+
+
+def test_zipf_zero_exponent_is_uniform():
+    p = zipf_probabilities(5, 0.0)
+    assert np.allclose(p, 0.2)
+
+
+def test_zipf_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        zipf_probabilities(0, 1.0)
+    with pytest.raises(ValueError):
+        zipf_probabilities(5, -0.1)
+
+
+def test_stream_is_deterministic_under_seed():
+    a = list(request_stream(20, 3, n_objects=16, dims=2, seed=7))
+    b = list(request_stream(20, 3, n_objects=16, dims=2, seed=7))
+    assert [r.catalogue_id for r in a] == [r.catalogue_id for r in b]
+    assert [len(r.functions) for r in a] == [len(r.functions) for r in b]
+    assert a[0].functions.weights == b[0].functions.weights
+
+
+def test_stream_shapes_and_catalogue_identity_reuse():
+    requests = list(request_stream(50, 2, n_objects=12, dims=3, seed=1))
+    assert len(requests) == 50
+    assert [r.request_id for r in requests] == list(range(50))
+    catalogues = {}
+    for r in requests:
+        assert isinstance(r, CohortRequest)
+        assert 0 <= r.catalogue_id < 2
+        assert len(r.catalogue) == 12
+        assert r.functions.dims == r.catalogue.dims == 3
+        assert 1 <= len(r.functions) <= 64
+        # identity reuse: one ObjectSet object per catalogue id, so
+        # downstream fingerprint caches see genuine hits.
+        assert catalogues.setdefault(r.catalogue_id, r.catalogue) is r.catalogue
+
+
+def test_stream_skews_toward_hot_catalogue_and_small_cohorts():
+    requests = list(
+        request_stream(
+            400, 4, n_objects=8, dims=2, seed=3,
+            catalogue_skew=1.3, cohort_skew=1.5, max_cohort=32,
+        )
+    )
+    by_catalogue = np.bincount([r.catalogue_id for r in requests], minlength=4)
+    assert by_catalogue[0] == max(by_catalogue)
+    assert by_catalogue[0] > len(requests) / 4  # hotter than uniform share
+    sizes = [len(r.functions) for r in requests]
+    assert sizes.count(1) > sizes.count(32)
+    assert max(sizes) > 4  # the heavy tail exists
+
+
+def test_stream_accepts_prebuilt_catalogues():
+    catalogues = [make_objects(10, 2, "independent", seed=i) for i in range(2)]
+    requests = list(request_stream(15, catalogues, seed=11, max_cohort=8))
+    assert {id(r.catalogue) for r in requests} <= {id(c) for c in catalogues}
+
+
+def test_stream_rejects_bad_arguments():
+    with pytest.raises(ValueError):
+        list(request_stream(-1, 2))
+    with pytest.raises(ValueError):
+        list(request_stream(1, 0))
+    with pytest.raises(ValueError):
+        list(request_stream(1, []))
+    with pytest.raises(ValueError):
+        list(request_stream(1, 2, max_cohort=0))

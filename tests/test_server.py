@@ -1,0 +1,358 @@
+"""End-to-end tests of the serving layer over real sockets.
+
+Each test boots a thread-hosted server on an ephemeral port and talks
+to it through the blocking :class:`repro.server.Client` — the same
+path examples, CI smoke, and the throughput benchmark use.
+"""
+
+import asyncio
+import concurrent.futures
+import random
+
+import pytest
+
+from repro.api import AssignmentSession, Problem
+from repro.errors import ServerBusyError, ServerError
+from repro.server import Client, ReproServer, ServerConfig, running_server
+
+from .conftest import random_instance
+
+ENGINE_CONFIGS = ("sb", "sb-update", "sb-deltasky", "sb-alt", "sb-two-skylines", "chain")
+
+
+def make_problem(nf=6, no=24, dims=3, seed=5, method="sb", **options):
+    functions, objects = random_instance(nf, no, dims, seed=seed)
+    return Problem.from_sets(objects, functions, method=method, options=options)
+
+
+@pytest.fixture()
+def server():
+    with running_server(
+        ServerConfig(port=0, queue_limit=32, solution_cache_size=64)
+    ) as handle:
+        yield handle
+
+
+@pytest.fixture()
+def client(server):
+    with Client(server.base_url) as c:
+        yield c
+
+
+def test_health_and_metrics_shape(client):
+    assert client.health()["status"] == "ok"
+    metrics = client.metrics()
+    assert metrics["queue"]["limit"] == 32
+    assert metrics["solution_cache"]["entries"] == 0
+    assert metrics["http"]["requests_total"] >= 1
+
+
+def test_registration_dedupes_by_digest(client):
+    problem = make_problem()
+    first = client.register(problem)
+    second = client.register(make_problem())  # structurally identical
+    assert first == second == problem.digest()
+    assert client.problem(first) == problem
+    # a different solver selection is a different registration
+    other = client.register(problem.with_method("chain"))
+    assert other != first
+
+
+def test_wire_solutions_bit_identical_to_direct_session_for_all_configs(client):
+    """Acceptance: for every engine config, the solution returned over
+    the wire equals a direct AssignmentSession.solve() bit for bit."""
+    base = make_problem(nf=7, no=30, dims=3, seed=11)
+    for method in ENGINE_CONFIGS:
+        problem = base.with_method(method)
+        with AssignmentSession(problem) as session:
+            direct = session.solve()
+        remote = client.solve(problem)
+        assert remote == direct, method
+        # bit-identical floats: canonical JSON pairs match exactly
+        assert remote.to_dict()["pairs"] == direct.to_dict()["pairs"], method
+        remote.verify()
+
+
+def test_solve_by_problem_id_with_method_override(client):
+    problem = make_problem()
+    pid = client.register(problem)
+    plain = client.solve(pid)
+    overridden = client.solve(pid, method="chain")
+    assert plain.as_dict() == overridden.as_dict()  # same stable matching
+    assert overridden.method == "chain"
+
+
+def test_solution_cache_serves_repeat_queries(client):
+    problem = make_problem(seed=23)
+    first = client.solve(problem)
+    second = client.solve(problem)
+    assert first == second
+    metrics = client.metrics()
+    assert metrics["solution_cache"]["hits"] >= 1
+    assert metrics["solves"]["cache_hits"] >= 1
+    # options change the key: a fresh solve, not a hit
+    client.solve(problem, options={"omega_fraction": 0.1})
+    assert client.metrics()["solution_cache"]["misses"] >= 2
+
+
+def test_async_job_lifecycle_and_diff(client):
+    problem = make_problem(seed=31)
+    pid = client.register(problem)
+    job_a = client.submit(pid)
+    job_b = client.submit(pid, method="chain")
+    sol_a = client.result(job_a)
+    sol_b = client.result(job_b)
+    assert sol_a.as_dict() == sol_b.as_dict()
+    record = client.job(job_a)
+    assert record["status"] == "done"
+    assert record["wall_seconds"] >= 0
+    assert record["solution"]["pairs"] == sol_a.to_dict()["pairs"]
+    diff = client.diff(job_a, job_b)
+    assert diff["identical"] is True and diff["units_changed"] == 0
+    # a different cohort genuinely moves units
+    other = problem.with_functions([(0.9, 0.05, 0.05), (0.1, 0.1, 0.8)])
+    job_c = client.submit(other)
+    client.result(job_c)
+    assert client.diff(job_a, job_c)["identical"] is False
+
+
+def test_error_mapping(client):
+    problem = make_problem()
+    pid = client.register(problem)
+    with pytest.raises(ServerError) as not_found:
+        client.solve("no-such-problem")
+    assert not_found.value.status == 404
+    with pytest.raises(ServerError) as bad_method:
+        client.solve(pid, method="not-a-solver")
+    assert bad_method.value.status == 400
+    with pytest.raises(ServerError) as bad_option:
+        client.solve(pid, options={"bogus_option": 1})
+    assert bad_option.value.status == 400
+    with pytest.raises(ServerError) as bad_payload:
+        client._request("POST", "/v1/problems", {"schema": "wrong/v9"})
+    assert bad_payload.value.status == 400
+    with pytest.raises(ServerError) as missing_job:
+        client.job("job-99999999")
+    assert missing_job.value.status == 404
+    with pytest.raises(ServerError) as wrong_verb:
+        client._request("GET", "/v1/solve")
+    assert wrong_verb.value.status == 405
+    with pytest.raises(ServerError) as unfinished_diff:
+        client.diff("job-99999999", "job-99999999")
+    assert unfinished_diff.value.status == 404
+
+
+def test_inline_one_shot_solve_registers_as_side_effect(client):
+    problem = make_problem(seed=41)
+    _, body = client._request(
+        "POST", "/v1/solve", {"problem": problem.to_dict()}
+    )
+    assert body["problem_id"] == problem.digest()
+    assert client.problem(body["problem_id"]) == problem
+
+
+def test_backpressure_returns_429_with_retry_after():
+    """With an admission limit of 1, a slow in-flight solve forces the
+    next submission to be turned away with 429 + Retry-After."""
+    slow = make_problem(nf=40, no=2500, dims=4, seed=47)
+    quick = make_problem(seed=48)
+    with running_server(
+        ServerConfig(port=0, queue_limit=1, solution_cache_size=8)
+    ) as handle:
+        with Client(handle.base_url) as client:
+            pid_slow = client.register(slow)
+            pid_quick = client.register(quick)
+            job = client.submit(pid_slow)
+            rejected = 0
+            try:
+                client.submit(pid_quick)
+            except ServerBusyError as busy:
+                rejected += 1
+                assert busy.retry_after > 0
+                assert busy.payload["queue_limit"] == 1
+            client.result(job, timeout=120)
+            # the queue drained: the same submission is admitted now,
+            # and the client-side Retry-After loop also gets through.
+            done = client.submit(pid_quick, timeout=60)
+            client.result(done, timeout=60)
+            if rejected:
+                assert client.metrics()["queue"]["rejected_total"] >= 1
+
+
+def test_bad_server_config_fails_at_startup():
+    """Regression: a zero pump pool or worker pool must fail loudly at
+    construction, not as a silently wedged queue at runtime."""
+    for bad in (
+        dict(pump_tasks=0),
+        dict(workers=0),
+        dict(problem_registry_size=0),
+        dict(retry_after_seconds=-1.0),
+        dict(read_timeout_seconds=0.0),
+        dict(max_body_bytes=0),
+        dict(queue_limit=0),
+        dict(job_history=0),
+    ):
+        with pytest.raises(ValueError):
+            ReproServer(ServerConfig(**bad))
+
+
+def test_stalled_connection_is_dropped_by_read_timeout():
+    """Regression: a peer that opens a connection and never finishes a
+    request must be dropped, not pin its connection task forever."""
+    import socket
+
+    with running_server(
+        ServerConfig(port=0, read_timeout_seconds=0.2)
+    ) as handle:
+        stalled = socket.create_connection(("127.0.0.1", handle.port), timeout=10)
+        stalled.sendall(b"POST /v1/solve HTTP/1.1\r\nContent-Length: 100\r\n\r\n")
+        stalled.settimeout(10)
+        assert stalled.recv(1024) == b""  # server closed on us
+        stalled.close()
+        # the server is still serving normal clients afterwards
+        with Client(handle.base_url) as client:
+            assert client.health()["status"] == "ok"
+
+
+def test_problem_registry_is_lru_bounded():
+    """Regression: registrations must not retain catalogues without
+    bound — the registry evicts least-recently-used entries, and an
+    evicted id simply 404s (re-registration is idempotent)."""
+    server = ReproServer(ServerConfig(problem_registry_size=2))
+    problems = [make_problem(seed=60 + i) for i in range(3)]
+    ids = [server._register(p)[0] for p in problems]
+    assert len(server._problems) == 2
+    assert ids[0] not in server._problems          # oldest evicted
+    assert ids[1] in server._problems and ids[2] in server._problems
+    # re-registering the evicted problem readmits it under the same id
+    again, created = server._register(problems[0])
+    assert again == ids[0] and created
+    assert again in server._problems
+
+
+def test_override_solutions_stay_detached_from_the_base_problem(client):
+    """Regression: a solve with method/options overrides must not come
+    back carrying the registered base Problem — its options would
+    misreport what produced the result."""
+    problem = make_problem()
+    pid = client.register(problem)
+    plain = client.solve(pid)
+    assert plain.problem == problem                # attach on exact match
+    assert client.solve(pid, method="chain").problem is None
+    assert client.solve(pid, options={"omega_fraction": 0.1}).problem is None
+    job_plain = client.submit(pid)
+    assert client.result(job_plain).problem == problem
+    job_override = client.submit(pid, options={"omega_fraction": 0.1})
+    assert client.result(job_override).problem is None
+
+
+def test_saturated_admission_deterministically_yields_429():
+    """Unit-level certainty for the backpressure contract: with the
+    only admission slot held, both the sync-solve and job-submit paths
+    answer 429 with a Retry-After header."""
+
+    async def run():
+        server = ReproServer(
+            ServerConfig(port=0, queue_limit=1, retry_after_seconds=2.5)
+        )
+        await server.start()
+        try:
+            problem = make_problem()
+            problem_id, _ = server._register(problem)
+            assert server._admission.try_acquire()  # hold the only slot
+            try:
+                response = await server._admitted_solve(
+                    lambda: (problem_id, problem)
+                )
+                assert response.status == 429
+                assert response.headers["Retry-After"] == "2.5"
+                from repro.server.http import Request
+
+                submit = await server._submit_job(
+                    Request(
+                        "POST", "/v1/jobs", {}, {},
+                        b'{"problem_id": "%s"}' % problem_id.encode(), True,
+                    )
+                )
+                assert submit.status == 429
+                # admission runs before the body is parsed: a saturated
+                # queue rejects even malformed payloads with 429, and
+                # a post-admission parse failure releases the slot.
+                garbage = await server._submit_job(
+                    Request("POST", "/v1/jobs", {}, {}, b"not json", True)
+                )
+                assert garbage.status == 429
+            finally:
+                server._admission.release()
+            assert server._metrics.rejected_total == 3
+            # with the slot free, a malformed body now fails cleanly
+            # and does not leak its admission slot
+            from repro.errors import SerdeError as _SerdeError
+            from repro.server.http import Request as _Request
+
+            try:
+                await server._submit_job(
+                    _Request("POST", "/v1/jobs", {}, {}, b"not json", True)
+                )
+            except _SerdeError:
+                pass
+            else:  # pragma: no cover - the parse must fail
+                raise AssertionError("malformed body should raise")
+            assert server._admission.depth == 0
+        finally:
+            await server.stop()
+
+    asyncio.run(run())
+
+
+def test_sixteen_concurrent_clients_share_one_index_build(server):
+    """Acceptance: ≥16 simultaneous clients solving distinct cohorts
+    over one shared catalogue leave exactly one ObjectIndex build in
+    cache_info()."""
+    _, objects = random_instance(1, 40, 3, seed=53)
+    base = make_problem(nf=4, no=40, dims=3, seed=53)
+    rng = random.Random(7)
+
+    def cohort(k):
+        weights = []
+        for _ in range(3 + k % 3):
+            raw = [rng.random() + 1e-9 for _ in range(3)]
+            total = sum(raw)
+            weights.append(tuple(x / total for x in raw))
+        return base.with_functions(weights)
+
+    problems = [cohort(k) for k in range(16)]
+
+    def solve_one(problem):
+        with Client(server.base_url) as worker:
+            return worker.solve(problem).verify()
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=16) as pool:
+        solutions = list(pool.map(solve_one, problems))
+
+    assert len(solutions) == 16
+    for problem, solution in zip(problems, solutions):
+        with AssignmentSession(problem) as session:
+            assert solution == session.solve()
+    metrics = Client(server.base_url).metrics()
+    index_cache = metrics["index_cache"]
+    assert index_cache["misses"] == 1        # exactly one index build
+    assert index_cache["hits"] == 15         # everyone else reused it
+    assert metrics["queue"]["rejected_total"] == 0
+
+
+def test_identical_concurrent_requests_coalesce_to_one_engine_run(server):
+    """Single-flight: N identical in-flight solves run the engine once."""
+    problem = make_problem(nf=10, no=400, dims=3, seed=59)
+
+    def solve_one(_):
+        with Client(server.base_url) as worker:
+            return worker.solve(problem)
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+        solutions = list(pool.map(solve_one, range(8)))
+    assert len({s.to_json() for s in solutions}) == 1
+    metrics = Client(server.base_url).metrics()
+    assert metrics["solution_cache"]["misses"] == 1
+    assert metrics["index_cache"]["misses"] == 1
+    assert metrics["solves"]["total"] == 8

@@ -1,0 +1,147 @@
+"""Unit tests for the serving-layer building blocks: the solution LRU,
+admission control, job store bounds, and latency histograms."""
+
+import pytest
+
+from repro.api import Problem, Solution
+from repro.server.cache import SolutionCache
+from repro.server.jobs import DONE, AdmissionController, JobStore
+from repro.server.metrics import LatencyHistogram, ServerMetrics
+
+
+def solution(tag: int) -> Solution:
+    from repro.core.types import AssignedPair
+
+    return Solution(pairs=(AssignedPair(0, tag, 1.0, 1),), method="sb")
+
+
+def key(tag: int):
+    return (f"instance-{tag}", "sb", "{}")
+
+
+def test_solution_cache_lru_eviction_and_counters():
+    cache = SolutionCache(max_entries=2)
+    cache.put(key(1), solution(1))
+    cache.put(key(2), solution(2))
+    assert cache.get(key(1)) == solution(1)   # 1 now most-recent
+    cache.put(key(3), solution(3))            # evicts 2
+    assert cache.get(key(2)) is None
+    assert cache.get(key(1)) is not None
+    assert cache.get(key(3)) is not None
+    info = cache.info()
+    assert info == {
+        "hits": 3, "misses": 1, "evictions": 1, "entries": 2, "max_entries": 2,
+    }
+
+
+def test_solution_cache_zero_size_disables_caching():
+    cache = SolutionCache(max_entries=0)
+    cache.put(key(1), solution(1))
+    assert cache.get(key(1)) is None
+    assert cache.info()["entries"] == 0
+    with pytest.raises(ValueError):
+        SolutionCache(max_entries=-1)
+
+
+def test_admission_controller_bounds_and_peak():
+    admission = AdmissionController(limit=2)
+    assert admission.try_acquire() and admission.try_acquire()
+    assert not admission.try_acquire()     # saturated
+    admission.release()
+    assert admission.try_acquire()         # a slot freed up
+    assert admission.info() == {"depth": 2, "peak_depth": 2, "limit": 2}
+    admission.release()
+    admission.release()
+    with pytest.raises(RuntimeError):
+        admission.release()                # unbalanced release is a bug
+    with pytest.raises(ValueError):
+        AdmissionController(limit=0)
+
+
+def make_problem():
+    return (
+        Problem.builder()
+        .add_objects([(0.5, 0.5), (0.2, 0.8)])
+        .add_functions([(0.5, 0.5)])
+        .build()
+    )
+
+
+def test_job_store_trims_finished_jobs_only():
+    store = JobStore(history_limit=3)
+    problem = make_problem()
+    jobs = [store.create(f"p{i}", problem) for i in range(3)]
+    jobs[0].status = DONE
+    jobs[1].status = DONE
+    live = jobs[2]
+    fourth = store.create("p3", problem)
+    assert len(store) == 3
+    assert store.get(jobs[0].job_id) is None      # oldest finished dropped
+    assert store.get(live.job_id) is live         # live job survives
+    assert store.get(fourth.job_id) is fourth
+    # job ids keep counting monotonically
+    assert fourth.job_id > live.job_id
+
+
+def test_job_to_dict_shapes():
+    store = JobStore()
+    job = store.create("pid", make_problem())
+    payload = job.to_dict()
+    assert payload["status"] == "queued"
+    assert payload["solution"] is None
+    assert "solution" not in job.to_dict(include_solution=False)
+
+
+def test_latency_histogram_quantiles():
+    hist = LatencyHistogram()
+    for _ in range(99):
+        hist.observe(0.002)
+    hist.observe(4.0)
+    assert hist.count == 100
+    assert 0.001 <= hist.quantile(0.5) <= 0.0025
+    assert 2.5 <= hist.quantile(0.995) <= 5.0
+    assert hist.max_seconds == 4.0
+    payload = hist.to_dict()
+    assert payload["count"] == 100
+    assert payload["buckets"]["+inf"] == 0
+    # q=0 estimates the minimum: the occupied bucket's lower bound
+    assert hist.quantile(0.0) == pytest.approx(0.001)
+    with pytest.raises(ValueError):
+        hist.quantile(1.5)
+
+
+def test_latency_histogram_empty_and_overflow():
+    hist = LatencyHistogram()
+    assert hist.quantile(0.99) == 0.0
+    hist.observe(1e6)  # lands in +inf bucket; quantile reports lower bound
+    assert hist.quantile(0.99) == 10.0
+    with pytest.raises(ValueError):
+        LatencyHistogram(buckets=(0.1, 1.0))  # must end with +inf
+
+
+def test_server_metrics_engine_accumulation_skips_cache_hits():
+    metrics = ServerMetrics()
+
+    class FakeIO:
+        physical_reads = 5
+        logical_reads = 9
+        physical_writes = 2
+
+    class FakeStats:
+        io = FakeIO()
+        cpu_seconds = 0.25
+
+    class FakeSolution:
+        stats = FakeStats()
+
+    metrics.record_solve("sb", 0.1, FakeSolution(), cached=False)
+    metrics.record_solve("sb", 0.0001, FakeSolution(), cached=True)
+    assert metrics.engine_physical_reads == 5    # hit did not double count
+    assert metrics.engine_logical_reads == 9
+    assert metrics.solves_total == 2
+    assert metrics.solve_cache_hits == 1
+    snapshot = metrics.snapshot(
+        queue={"depth": 0}, solution_cache={}, index_cache={}
+    )
+    assert snapshot["latency"]["sb"]["count"] == 2
+    assert snapshot["engine"]["cpu_seconds"] == 0.25
