@@ -7,15 +7,27 @@ the object R-tree is built once and every request reuses it), and
 records requests/sec plus p50/p99 end-to-end latency into
 ``BENCH_server.json`` next to ``BENCH_engine.json``.
 
+``--executor both`` replays the identical workload once per backend
+and records a thread-vs-process comparison row: the thread backend
+serializes same-catalogue fresh solves on the shared index's run lock
+(and the GIL), the process backend runs them in parallel on per-worker
+index replicas, so on an N-core host the process column should show
+roughly min(N, workers)× the fresh-solve throughput.  ``cpu_count``
+is recorded with every snapshot so single-core numbers read as what
+they are.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_server_throughput.py --label pr3_server
+    PYTHONPATH=src python benchmarks/bench_server_throughput.py \
+        --label pr4_thread_vs_process --executor both
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import statistics
 import threading
@@ -41,6 +53,8 @@ def run_benchmark(
     dims: int,
     max_cohort: int,
     seed: int,
+    executor: str = "thread",
+    workers: int | None = None,
 ) -> dict:
     catalogue = make_objects(n_objects, dims, "anti-correlated", seed=seed)
     workload = list(
@@ -57,6 +71,8 @@ def run_benchmark(
             port=0,
             queue_limit=max(64, requests),
             solution_cache_size=0,  # measure solves, not cache replays
+            executor=executor,
+            workers=workers,
         )
     )
     latencies: list[float] = []
@@ -98,6 +114,9 @@ def run_benchmark(
         "n_objects": n_objects,
         "dims": dims,
         "max_cohort": max_cohort,
+        "executor": executor,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
         "wall_seconds": wall,
         "requests_per_second": requests / wall,
         "latency_p50_seconds": percentile(latencies, 0.50),
@@ -109,6 +128,15 @@ def run_benchmark(
     }
 
 
+def _describe(snapshot: dict) -> str:
+    return (
+        f"{snapshot['requests_per_second']:.1f} req/s, "
+        f"p50 {snapshot['latency_p50_seconds'] * 1e3:.1f} ms, "
+        f"p99 {snapshot['latency_p99_seconds'] * 1e3:.1f} ms "
+        f"({snapshot['index_cache']['misses']} index build(s))"
+    )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--label", required=True, help="snapshot name")
@@ -118,25 +146,55 @@ def main() -> None:
     parser.add_argument("--dims", type=int, default=3)
     parser.add_argument("--max-cohort", type=int, default=16)
     parser.add_argument("--seed", type=int, default=2)
+    parser.add_argument(
+        "--executor", choices=["thread", "process", "both"], default="thread",
+        help="solve backend; 'both' records a thread-vs-process comparison",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="solver pool size (threads or worker processes)",
+    )
     args = parser.parse_args()
 
-    snapshot = run_benchmark(
-        args.requests, args.clients, args.objects, args.dims,
-        args.max_cohort, args.seed,
-    )
-    snapshot["python"] = platform.python_version()
+    def bench(executor: str) -> dict:
+        snapshot = run_benchmark(
+            args.requests, args.clients, args.objects, args.dims,
+            args.max_cohort, args.seed, executor=executor,
+            workers=args.workers,
+        )
+        snapshot["python"] = platform.python_version()
+        return snapshot
+
+    if args.executor == "both":
+        thread_snapshot = bench("thread")
+        process_snapshot = bench("process")
+        snapshot = {
+            "mode": "thread_vs_process",
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "thread": thread_snapshot,
+            "process": process_snapshot,
+            "process_speedup": (
+                process_snapshot["requests_per_second"]
+                / thread_snapshot["requests_per_second"]
+            ),
+        }
+        report = (
+            f"thread {_describe(thread_snapshot)} | "
+            f"process {_describe(process_snapshot)} | "
+            f"speedup {snapshot['process_speedup']:.2f}x "
+            f"on {snapshot['cpu_count']} core(s)"
+        )
+    else:
+        snapshot = bench(args.executor)
+        report = _describe(snapshot)
 
     results = {}
     if RESULT_PATH.exists():
         results = json.loads(RESULT_PATH.read_text())
     results[args.label] = snapshot
     RESULT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
-    print(
-        f"{args.label}: {snapshot['requests_per_second']:.1f} req/s, "
-        f"p50 {snapshot['latency_p50_seconds'] * 1e3:.1f} ms, "
-        f"p99 {snapshot['latency_p99_seconds'] * 1e3:.1f} ms "
-        f"({snapshot['index_cache']['misses']} index build(s)) -> {RESULT_PATH}"
-    )
+    print(f"{args.label}: {report} -> {RESULT_PATH}")
 
 
 if __name__ == "__main__":

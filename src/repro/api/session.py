@@ -55,6 +55,11 @@ class AssignmentSession:
     problem's population).  The two views are independent: ``solve``
     always answers for the immutable base problem, ``current()`` for
     the churned population.
+
+    ``executor`` selects the solve backend: ``"thread"`` (default,
+    one shared index cache) or ``"process"`` (per-worker index
+    replicas, true multi-core parallelism over a shared catalogue,
+    bit-identical results; see :mod:`repro.service.pool`).
     """
 
     def __init__(
@@ -63,10 +68,13 @@ class AssignmentSession:
         *,
         max_workers: int | None = None,
         index_cache_size: int = 32,
+        executor: str = "thread",
     ):
         self._problem = problem
         self._batch = BatchSolver(
-            max_workers=max_workers, index_cache_size=index_cache_size
+            max_workers=max_workers,
+            index_cache_size=index_cache_size,
+            executor=executor,
         )
         self._max_workers = max_workers
         self._pool: ThreadPoolExecutor | None = None
@@ -90,6 +98,11 @@ class AssignmentSession:
         return self._problem
 
     @property
+    def executor(self) -> str:
+        """The execution backend: ``"thread"`` or ``"process"``."""
+        return self._batch.executor
+
+    @property
     def closed(self) -> bool:
         return self._closed
 
@@ -103,6 +116,7 @@ class AssignmentSession:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        self._batch.close()  # releases process-backend workers, if any
         self._closed = True
 
     def __enter__(self) -> "AssignmentSession":
@@ -129,8 +143,15 @@ class AssignmentSession:
         )
 
     def warm(self) -> "AssignmentSession":
-        """Pre-build (and cache) the base problem's object index."""
+        """Pre-build (and cache) the base problem's object index.
+
+        On the process backend this is a no-op: the replicas live in
+        the worker processes, and a parent-side build would cost a full
+        bulk-load that no solve ever reads.
+        """
         self._check_open()
+        if self._batch.executor != "thread":
+            return self
         job = self._job_for(self._problem)
         self._batch.cache.get(job.objects, job.page_size, job.wants_memory_index)
         return self

@@ -7,7 +7,8 @@ argmaxes with canonical tie-breaking.  ``MatrixView`` computes the
 scores with one numpy matmul, then resolves the winner *exactly*
 (via :func:`repro.scoring.score` and the canonical tuple order) among
 the rows inside a small tolerance band around the numpy maximum — the
-band is orders of magnitude wider than matmul's rounding error, so
+band scales with the summed term magnitudes (max|coord|·sum|weight|)
+and stays orders of magnitude wider than matmul's rounding error, so
 the exact winner is always inside it and results are bit-identical to
 the scalar scan.
 """
@@ -37,6 +38,14 @@ class MatrixView:
         self.ids = list(ids)
         self.rows = [tuple(r) for r in rows]
         self._matrix = np.asarray(self.rows, dtype=np.float64)
+        # Largest |coordinate| anywhere in the matrix: the tolerance
+        # band in :meth:`best_for` scales with the *term* magnitudes
+        # (sum_i |w_i·x_i| ≤ max|x| · sum|w|), not with the final dot
+        # product — cancellation can make |f(o)| tiny while rounding
+        # error stays proportional to the huge intermediate terms.
+        self._max_abs_coord = (
+            float(np.abs(self._matrix).max()) if len(self.rows) else 0.0
+        )
 
     def __len__(self) -> int:
         return len(self.ids)
@@ -50,8 +59,19 @@ class MatrixView:
         """Canonically best ``(id, exact_score)`` for ``query``."""
         if not self.ids:
             raise ValueError("best_for on an empty MatrixView")
-        approx = self._matrix @ np.asarray(query, dtype=np.float64)
-        band = np.nonzero(approx >= approx.max() - SCORE_EPS)[0]
+        query_vector = np.asarray(query, dtype=np.float64)
+        approx = self._matrix @ query_vector
+        approx_max = float(approx.max())
+        # Matmul rounding error is relative to the summed *term*
+        # magnitudes (~dims ulps of sum|w_i·x_i|), which cancellation
+        # can leave orders of magnitude above the final score — a band
+        # scaled by the score itself (or a fixed one) silently drops
+        # the exact winner on high-magnitude mixed-sign rows.  Bound
+        # the terms by max|coord|·sum|w|; the floor of 1.0 keeps the
+        # original absolute margin for small instances.
+        term_scale = self._max_abs_coord * float(np.abs(query_vector).sum())
+        tolerance = SCORE_EPS * max(1.0, term_scale)
+        band = np.nonzero(approx >= approx_max - tolerance)[0]
         best_key = None
         best_i = -1
         for i in band:

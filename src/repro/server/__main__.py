@@ -28,8 +28,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="max queued+running solves before requests get 429",
     )
     parser.add_argument(
+        "--executor", choices=["thread", "process"], default="thread",
+        help=(
+            "solve backend: 'thread' shares one object-index cache, "
+            "'process' gives each worker process a private index "
+            "replica for true multi-core parallelism"
+        ),
+    )
+    parser.add_argument(
         "--workers", type=int, default=None,
-        help="solver thread-pool size (default: executor default)",
+        help=(
+            "solver pool size — threads or worker processes depending "
+            "on --executor (default: executor default)"
+        ),
     )
     parser.add_argument(
         "--pump-tasks", type=int, default=8,
@@ -58,6 +69,7 @@ def main(argv: list[str] | None = None) -> None:
         host=args.host,
         port=args.port,
         queue_limit=args.queue_limit,
+        executor=args.executor,
         workers=args.workers,
         pump_tasks=args.pump_tasks,
         solution_cache_size=args.solution_cache_size,

@@ -53,13 +53,13 @@ from repro.server.http import (
 from repro.server.jobs import (
     DONE,
     FAILED,
-    RUNNING,
     AdmissionController,
     Job,
     JobStore,
 )
 from repro.server.metrics import ServerMetrics
 from repro.server.router import Router
+from repro.service.pool import check_executor
 
 log = logging.getLogger("repro.server")
 
@@ -89,7 +89,15 @@ class ServerConfig:
     port: int = 8000
     #: Admission limit: maximum queued+running solves before 429.
     queue_limit: int = 64
-    #: Threads in the session's solve pool (``None`` = executor default).
+    #: Solve backend: ``"thread"`` (one shared object-index cache, one
+    #: R-tree build per catalogue, GIL-bound) or ``"process"`` (a
+    #: worker-process pool where each worker owns a private index
+    #: replica — same-catalogue solves run truly in parallel with
+    #: bit-identical results; see :mod:`repro.service.pool`).
+    executor: str = "thread"
+    #: Workers in the session's solve pool: threads for the thread
+    #: executor, worker processes for the process executor (``None`` =
+    #: executor default — CPU count for processes).
     workers: int | None = None
     #: Concurrent async jobs in flight (pump task count).
     pump_tasks: int = 8
@@ -139,6 +147,7 @@ class ReproServer:
         # queue_limit / solution_cache_size / job_history are validated
         # by the components built from them; check the rest here so a
         # bad flag fails at startup, not as a wedged queue later.
+        check_executor(config.executor)
         if config.problem_registry_size < 1:
             raise ValueError("problem_registry_size must be >= 1")
         if config.pump_tasks < 1:
@@ -179,6 +188,7 @@ class ReproServer:
                 problem,
                 max_workers=self.config.workers,
                 index_cache_size=self.config.index_cache_size,
+                executor=self.config.executor,
             )
         return self._session
 
@@ -314,7 +324,13 @@ class ReproServer:
     # -- endpoint handlers ---------------------------------------------
 
     async def _health(self, request: Request) -> Response:
-        return Response.json({"status": "ok", "problems": len(self._problems)})
+        return Response.json(
+            {
+                "status": "ok",
+                "problems": len(self._problems),
+                "executor": self.config.executor,
+            }
+        )
 
     async def _metrics_endpoint(self, request: Request) -> Response:
         index_info = (
@@ -448,26 +464,22 @@ class ReproServer:
         while True:
             job = await self._queue.get()
             try:
-                job.status = RUNNING
-                job.started_at = time.time()
+                job.mark_running()
                 solution, hit, seconds = await self._solve(job.problem)
-                job.solution = solution
-                job.cache_hit = hit
-                job.wall_seconds = seconds
-                job.status = DONE
+                # One atomic publish: solution / wall_seconds /
+                # finished_at land before status flips to "done", so a
+                # concurrent poll never sees done-without-solution.
+                job.complete(solution, hit, seconds)
                 self._metrics.jobs_completed += 1
             except asyncio.CancelledError:
-                job.status = FAILED
-                job.error = "server shut down before the job completed"
+                job.fail("server shut down before the job completed")
                 raise
             except Exception as exc:
-                job.status = FAILED
-                job.error = f"{type(exc).__name__}: {exc}"
+                job.fail(f"{type(exc).__name__}: {exc}")
                 self._metrics.jobs_failed += 1
                 if not isinstance(exc, ReproError):
                     log.exception("job %s failed", job.job_id)
             finally:
-                job.finished_at = time.time()
                 self._admission.release()
                 self._queue.task_done()
 

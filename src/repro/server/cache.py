@@ -35,7 +35,17 @@ class SolutionCache:
         self.misses = 0
         self.evictions = 0
 
+    @property
+    def enabled(self) -> bool:
+        return self.max_entries > 0
+
     def get(self, key: SolveKey) -> Solution | None:
+        if not self.enabled:
+            # A disabled cache must not count misses: every lookup would
+            # miss by construction, and ``/metrics`` would report a 0%
+            # hit rate that reads as cache *failure* rather than
+            # cache-*off*.  Skip the lookup (and the lock) entirely.
+            return None
         with self._guard:
             solution = self._entries.get(key)
             if solution is None:
@@ -46,7 +56,7 @@ class SolutionCache:
             return solution
 
     def put(self, key: SolveKey, solution: Solution) -> None:
-        if self.max_entries == 0:
+        if not self.enabled:
             return
         with self._guard:
             self._entries[key] = solution
@@ -58,6 +68,7 @@ class SolutionCache:
     def info(self) -> dict[str, int]:
         with self._guard:
             return {
+                "enabled": self.enabled,
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,

@@ -15,12 +15,15 @@ oldest *finished* records are dropped first, live ones never.
 from __future__ import annotations
 
 import itertools
+import logging
 import threading
 import time
 from dataclasses import dataclass, field
 
 from repro.api.problem import Problem
 from repro.api.solution import Solution
+
+log = logging.getLogger("repro.server")
 
 QUEUED = "queued"
 RUNNING = "running"
@@ -38,6 +41,7 @@ class AdmissionController:
         self._guard = threading.Lock()
         self.depth = 0
         self.peak_depth = 0
+        self.underflows = 0
 
     def try_acquire(self) -> bool:
         with self._guard:
@@ -48,9 +52,20 @@ class AdmissionController:
             return True
 
     def release(self) -> None:
+        # An unmatched release is an accounting bug, but it surfaces
+        # inside handlers' ``finally`` blocks — raising here would mask
+        # the original exception with a secondary RuntimeError.  Clamp,
+        # count, and log instead; ``underflows`` in :meth:`info` keeps
+        # the bug observable via ``/metrics``.
         with self._guard:
             if self.depth <= 0:
-                raise RuntimeError("release() without a matching acquire")
+                self.underflows += 1
+                log.warning(
+                    "AdmissionController.release() without a matching "
+                    "acquire (clamped at 0; underflows=%d)",
+                    self.underflows,
+                )
+                return
             self.depth -= 1
 
     def info(self) -> dict[str, int]:
@@ -59,12 +74,20 @@ class AdmissionController:
                 "depth": self.depth,
                 "peak_depth": self.peak_depth,
                 "limit": self.limit,
+                "underflows": self.underflows,
             }
 
 
 @dataclass
 class Job:
-    """One asynchronous solve from submission to completion."""
+    """One asynchronous solve from submission to completion.
+
+    The finish transition is atomic: :meth:`complete` / :meth:`fail`
+    assign every result field *before* flipping ``status``, under the
+    record's lock — and :meth:`to_dict` snapshots under the same lock —
+    so a concurrent poll (from the event loop or any other thread) can
+    never observe ``status == "done"`` with ``solution`` still null.
+    """
 
     job_id: str
     problem_id: str
@@ -77,28 +100,55 @@ class Job:
     cache_hit: bool | None = None
     solution: Solution | None = field(default=None, repr=False)
     error: str | None = None
+    _guard: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     @property
     def finished(self) -> bool:
         return self.status in (DONE, FAILED)
 
+    def mark_running(self) -> None:
+        with self._guard:
+            self.status = RUNNING
+            self.started_at = time.time()
+
+    def complete(
+        self, solution: Solution, cache_hit: bool, wall_seconds: float
+    ) -> None:
+        """Publish the finished record: results first, ``status`` last."""
+        with self._guard:
+            self.solution = solution
+            self.cache_hit = cache_hit
+            self.wall_seconds = wall_seconds
+            self.finished_at = time.time()
+            self.status = DONE
+
+    def fail(self, error: str) -> None:
+        with self._guard:
+            self.error = error
+            self.finished_at = time.time()
+            self.status = FAILED
+
     def to_dict(self, include_solution: bool = True) -> dict:
-        payload = {
-            "job_id": self.job_id,
-            "problem_id": self.problem_id,
-            "method": self.problem.method,
-            "options": dict(self.problem.options),
-            "status": self.status,
-            "submitted_at": self.submitted_at,
-            "started_at": self.started_at,
-            "finished_at": self.finished_at,
-            "wall_seconds": self.wall_seconds,
-            "cache_hit": self.cache_hit,
-            "error": self.error,
-        }
+        with self._guard:
+            payload = {
+                "job_id": self.job_id,
+                "problem_id": self.problem_id,
+                "method": self.problem.method,
+                "options": dict(self.problem.options),
+                "status": self.status,
+                "submitted_at": self.submitted_at,
+                "started_at": self.started_at,
+                "finished_at": self.finished_at,
+                "wall_seconds": self.wall_seconds,
+                "cache_hit": self.cache_hit,
+                "error": self.error,
+            }
+            solution = self.solution
         if include_solution:
             payload["solution"] = (
-                self.solution.to_dict() if self.solution is not None else None
+                solution.to_dict() if solution is not None else None
             )
         return payload
 

@@ -1,0 +1,209 @@
+"""The process execution backend: per-worker index replicas must be
+observationally identical to the thread backend — bit-identical pairs
+*and* exact per-run I/O counters — across every engine config.
+
+The module-scoped process solver amortizes worker spawn cost across
+the tests (each worker pays one interpreter + numpy import).
+"""
+
+import pytest
+
+from repro.api import AssignmentSession, Problem
+from repro.engine import engine_config
+from repro.service import BatchSolver, SolveJob
+from repro.service.pool import check_executor, job_to_payload, solve_payload
+
+from .conftest import random_instance
+
+ENGINE_CONFIGS = (
+    "sb", "sb-update", "sb-deltasky", "sb-alt", "sb-two-skylines", "chain",
+)
+
+
+def make_problem(nf=7, no=30, dims=3, seed=11, **kwargs):
+    functions, objects = random_instance(nf, no, dims, seed=seed, **kwargs)
+    return Problem.from_sets(objects, functions, method="sb")
+
+
+def job_for(problem, method):
+    return SolveJob(
+        functions=problem.function_set,
+        objects=problem.object_set,
+        method=method,
+    )
+
+
+@pytest.fixture(scope="module")
+def process_solver():
+    with BatchSolver(executor="process", max_workers=2) as solver:
+        yield solver
+
+
+def deterministic_signature(job_result):
+    """Everything about a run that must not vary across backends:
+    the pairs bit for bit plus the exact measured-work counters."""
+    stats = job_result.result.stats
+    return (
+        [
+            (p.fid, p.oid, p.score, p.count)
+            for p in job_result.result.matching.pairs
+        ],
+        stats.io.physical_reads,
+        stats.io.logical_reads,
+        stats.io.physical_writes,
+        stats.loops,
+        stats.peak_memory_bytes,
+        dict(stats.counters),
+    )
+
+
+def test_process_backend_bit_identical_across_all_engine_configs(
+    process_solver,
+):
+    problem = make_problem()
+    jobs = [job_for(problem, method) for method in ENGINE_CONFIGS]
+    thread_results = BatchSolver(executor="thread").solve_many(jobs)
+    process_results = process_solver.solve_many(
+        [job_for(problem, method) for method in ENGINE_CONFIGS]
+    )
+    for method, thread_res, process_res in zip(
+        ENGINE_CONFIGS, thread_results, process_results
+    ):
+        assert deterministic_signature(process_res) == (
+            deterministic_signature(thread_res)
+        ), method
+
+
+def test_process_backend_capacities_and_priorities(process_solver):
+    problem = make_problem(
+        nf=6, no=20, seed=3, capacities=True, priorities=True
+    )
+    job = job_for(problem, "sb-two-skylines")
+    thread_res = BatchSolver(executor="thread").solve_one(job)
+    process_res = process_solver.solve_one(
+        job_for(problem, "sb-two-skylines")
+    )
+    assert deterministic_signature(process_res) == (
+        deterministic_signature(thread_res)
+    )
+
+
+def test_worker_replicas_reuse_built_indexes(process_solver):
+    """Same-catalogue jobs hit the per-worker replica after at most one
+    build per worker; a solve on the replica is a cache hit."""
+    problem = make_problem(seed=29)
+    before = process_solver.cache_info()
+    jobs = [job_for(problem, "sb") for _ in range(4)]
+    results = process_solver.solve_many(jobs)
+    after = process_solver.cache_info()
+    builds = after["misses"] - before["misses"]
+    hits = after["hits"] - before["hits"]
+    assert builds + hits == 4
+    assert builds <= after["workers"]       # at most one build per worker
+    assert hits >= 4 - after["workers"]
+    assert [r.index_cache_hit for r in results].count(False) == builds
+
+
+def test_process_executor_rejects_custom_engine_configs(process_solver):
+    problem = make_problem(seed=5)
+    job = job_for(problem, engine_config("sb"))
+    with pytest.raises(ValueError, match="EngineConfig"):
+        process_solver.solve_one(job)
+    # a bad job anywhere in a batch fails fast, before any dispatch —
+    # valid jobs earlier in the batch are not orphaned on workers
+    before = process_solver.cache_info()
+    with pytest.raises(ValueError, match="EngineConfig"):
+        process_solver.solve_many([job_for(problem, "sb"), job])
+    after = process_solver.cache_info()
+    assert (after["hits"], after["misses"]) == (
+        before["hits"], before["misses"],
+    )
+
+
+def test_job_payload_matches_canonical_problem_sections():
+    """The payload crossing the process boundary is the same canonical
+    schema :meth:`Problem.to_dict` serves over the wire."""
+    problem = make_problem(seed=7, capacities=True, priorities=True)
+    payload = job_to_payload(job_for(problem, "sb"))
+    canonical = problem.to_dict()
+    assert payload["objects"] == canonical["objects"]
+    assert payload["functions"] == canonical["functions"]
+    assert payload["solver"] == {"method": "sb", "options": {}}
+    assert payload["index"]["page_size"] == canonical["index"]["page_size"]
+    # a payload round trip solves identically in-process too
+    result, hit = solve_payload(payload)
+    direct = BatchSolver().solve_one(job_for(problem, "sb"))
+    assert [
+        (p.fid, p.oid, p.score, p.count) for p in result.matching.pairs
+    ] == [
+        (p.fid, p.oid, p.score, p.count)
+        for p in direct.result.matching.pairs
+    ]
+
+
+def test_session_process_executor_solves_and_submits():
+    problem = make_problem(seed=17)
+    with AssignmentSession(problem) as thread_session:
+        expected = thread_session.solve()
+    with AssignmentSession(
+        problem, executor="process", max_workers=1
+    ) as session:
+        assert session.executor == "process"
+        solution = session.solve()
+        assert solution.to_dict()["pairs"] == expected.to_dict()["pairs"]
+        future = session.submit()
+        assert future.result().to_dict()["pairs"] == (
+            expected.to_dict()["pairs"]
+        )
+        info = session.cache_info()
+        assert info["misses"] >= 1 and info["workers"] == 1
+    assert session.closed                   # close() released the pool
+
+
+def test_broken_pool_is_discarded_and_rebuilt():
+    """A worker dying (OOM-kill, segfault) breaks the whole
+    ProcessPoolExecutor; the backend must discard it and serve later
+    solves from a fresh pool instead of failing until restart."""
+    import os
+    import signal
+
+    from concurrent.futures.process import BrokenProcessPool
+
+    from repro.service.pool import ProcessPoolSolver
+
+    solver = ProcessPoolSolver(max_workers=1)
+    try:
+        problem = make_problem(seed=41)
+        expected = deterministic_signature(
+            BatchSolver().solve_one(job_for(problem, "sb"))
+        )
+        first = solver.solve_one(job_for(problem, "sb"))
+        assert deterministic_signature(first) == expected
+        for pid in list(solver._executor._processes):
+            os.kill(pid, signal.SIGKILL)
+        # Depending on when the executor notices the dead worker, the
+        # next job either fails with BrokenProcessPool (discarded via
+        # the done-callback) or is transparently retried on a fresh
+        # pool at submit time.  Either way the backend must recover.
+        try:
+            solver.solve_one(job_for(problem, "sb"))
+        except BrokenProcessPool:
+            pass
+        recovered = solver.solve_one(job_for(problem, "sb"))
+        assert deterministic_signature(recovered) == expected
+        assert solver.info()["pool_restarts"] >= 1
+    finally:
+        solver.close()
+
+
+def test_executor_validation():
+    with pytest.raises(ValueError, match="executor"):
+        BatchSolver(executor="fibers")
+    with pytest.raises(ValueError, match="executor"):
+        check_executor("")
+    assert check_executor("thread") == "thread"
+    assert check_executor("process") == "process"
+    from repro.service.pool import ProcessPoolSolver
+
+    with pytest.raises(ValueError, match="max_workers"):
+        ProcessPoolSolver(max_workers=0)  # not a silent full-CPU pool

@@ -8,6 +8,7 @@ path examples, CI smoke, and the throughput benchmark use.
 import asyncio
 import concurrent.futures
 import random
+import threading
 
 import pytest
 
@@ -185,6 +186,7 @@ def test_bad_server_config_fails_at_startup():
     for bad in (
         dict(pump_tasks=0),
         dict(workers=0),
+        dict(executor="fibers"),
         dict(problem_registry_size=0),
         dict(retry_after_seconds=-1.0),
         dict(read_timeout_seconds=0.0),
@@ -339,6 +341,85 @@ def test_sixteen_concurrent_clients_share_one_index_build(server):
     assert index_cache["misses"] == 1        # exactly one index build
     assert index_cache["hits"] == 15         # everyone else reused it
     assert metrics["queue"]["rejected_total"] == 0
+
+
+def test_process_executor_server_bit_identical_for_all_configs():
+    """Acceptance: a server on the process backend returns, for every
+    engine config, the same wire solution bit for bit as a direct
+    thread-backend AssignmentSession."""
+    base = make_problem(nf=7, no=30, dims=3, seed=11)
+    with running_server(
+        ServerConfig(
+            port=0, executor="process", workers=2, solution_cache_size=0
+        )
+    ) as handle:
+        with Client(handle.base_url) as client:
+            assert client.health()["executor"] == "process"
+            for method in ENGINE_CONFIGS:
+                problem = base.with_method(method)
+                with AssignmentSession(problem) as session:
+                    direct = session.solve()
+                remote = client.solve(problem)
+                assert remote.to_dict()["pairs"] == (
+                    direct.to_dict()["pairs"]
+                ), method
+                remote.verify()
+            index_cache = client.metrics()["index_cache"]
+            # per-worker replicas: at most one build per worker per
+            # (catalogue, memory-mode) — sb-alt uses a memory index,
+            # so two key variants exist for the shared catalogue
+            assert index_cache["misses"] <= 2 * index_cache["workers"]
+            assert index_cache["hits"] >= 1
+
+
+def test_job_finish_is_never_observed_without_its_solution():
+    """Regression for the finish race: threads polling job records
+    while the pump completes them must never observe ``done`` with a
+    missing solution / wall_seconds / finished_at."""
+    base = make_problem(nf=16, no=400, dims=3, seed=71)
+    with running_server(
+        ServerConfig(port=0, queue_limit=32, solution_cache_size=0)
+    ) as handle:
+        with Client(handle.base_url) as client:
+            job_ids = [
+                client.submit(
+                    base.with_options(omega_fraction=0.02 + 0.005 * i)
+                )
+                for i in range(6)
+            ]
+            jobs = [handle.server._jobs.get(jid) for jid in job_ids]
+            assert all(job is not None for job in jobs)
+            violations = []
+            done = threading.Event()
+
+            def poll():
+                while not done.is_set():
+                    for job in jobs:
+                        record = job.to_dict()
+                        if record["status"] == "done" and (
+                            record["solution"] is None
+                            or record["wall_seconds"] is None
+                            or record["finished_at"] is None
+                        ):
+                            violations.append(record["job_id"])
+
+            pollers = [threading.Thread(target=poll) for _ in range(3)]
+            for poller in pollers:
+                poller.start()
+            try:
+                for jid in job_ids:
+                    client.result(jid, timeout=120.0)
+            finally:
+                done.set()
+                for poller in pollers:
+                    poller.join()
+            assert not violations
+            for jid in job_ids:
+                record = client.job(jid)
+                assert record["status"] == "done"
+                assert record["solution"] is not None
+                assert record["wall_seconds"] is not None
+                assert record["finished_at"] is not None
 
 
 def test_identical_concurrent_requests_coalesce_to_one_engine_run(server):

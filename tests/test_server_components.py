@@ -30,6 +30,7 @@ def test_solution_cache_lru_eviction_and_counters():
     assert cache.get(key(3)) is not None
     info = cache.info()
     assert info == {
+        "enabled": True,
         "hits": 3, "misses": 1, "evictions": 1, "entries": 2, "max_entries": 2,
     }
 
@@ -43,19 +44,55 @@ def test_solution_cache_zero_size_disables_caching():
         SolutionCache(max_entries=-1)
 
 
+def test_disabled_solution_cache_reports_no_misses():
+    """Regression: a disabled cache must not count misses — ``/metrics``
+    would otherwise show a 0% hit rate that reads as cache failure
+    rather than cache-off."""
+    cache = SolutionCache(max_entries=0)
+    for tag in range(5):
+        assert cache.get(key(tag)) is None
+        cache.put(key(tag), solution(tag))
+    info = cache.info()
+    assert info["enabled"] is False
+    assert info["hits"] == 0
+    assert info["misses"] == 0
+    assert info["evictions"] == 0
+    # an enabled cache still counts
+    enabled = SolutionCache(max_entries=2)
+    assert enabled.get(key(1)) is None
+    assert enabled.info()["misses"] == 1
+    assert enabled.info()["enabled"] is True
+
+
 def test_admission_controller_bounds_and_peak():
     admission = AdmissionController(limit=2)
     assert admission.try_acquire() and admission.try_acquire()
     assert not admission.try_acquire()     # saturated
     admission.release()
     assert admission.try_acquire()         # a slot freed up
-    assert admission.info() == {"depth": 2, "peak_depth": 2, "limit": 2}
-    admission.release()
-    admission.release()
-    with pytest.raises(RuntimeError):
-        admission.release()                # unbalanced release is a bug
+    assert admission.info() == {
+        "depth": 2, "peak_depth": 2, "limit": 2, "underflows": 0,
+    }
     with pytest.raises(ValueError):
         AdmissionController(limit=0)
+
+
+def test_admission_release_underflow_clamps_and_counts(caplog):
+    """Regression: an unmatched release used to raise RuntimeError —
+    inside the server's ``finally`` blocks that masked the original
+    handler exception.  It now clamps at zero, logs, and counts."""
+    admission = AdmissionController(limit=2)
+    assert admission.try_acquire()
+    admission.release()
+    with caplog.at_level("WARNING", logger="repro.server"):
+        admission.release()                # unbalanced: clamped, not raised
+        admission.release()
+    assert admission.depth == 0
+    assert admission.info()["underflows"] == 2
+    assert any("without a matching acquire" in r.message for r in caplog.records)
+    # the counter still works after an underflow
+    assert admission.try_acquire()
+    assert admission.info()["depth"] == 1
 
 
 def make_problem():
@@ -90,6 +127,51 @@ def test_job_to_dict_shapes():
     assert payload["status"] == "queued"
     assert payload["solution"] is None
     assert "solution" not in job.to_dict(include_solution=False)
+
+
+def test_job_finish_transitions_publish_atomically():
+    """``complete``/``fail`` assign every result field before ``status``
+    flips, under the record lock — concurrent ``to_dict`` snapshots can
+    never pair a finished status with missing results."""
+    import threading
+
+    store = JobStore()
+    job = store.create("pid", make_problem())
+    job.mark_running()
+    assert job.status == "running" and job.started_at is not None
+
+    violations = []
+    stop = threading.Event()
+
+    def poll():
+        while not stop.is_set():
+            record = job.to_dict()
+            if record["status"] == DONE and (
+                record["solution"] is None
+                or record["wall_seconds"] is None
+                or record["finished_at"] is None
+            ):
+                violations.append(record)
+
+    poller = threading.Thread(target=poll)
+    poller.start()
+    try:
+        job.complete(solution(1), cache_hit=False, wall_seconds=0.5)
+    finally:
+        stop.set()
+        poller.join()
+    assert not violations
+    record = job.to_dict()
+    assert record["status"] == DONE
+    assert record["solution"] is not None
+    assert record["wall_seconds"] == 0.5
+    assert record["finished_at"] is not None
+
+    failed = store.create("pid2", make_problem())
+    failed.fail("boom")
+    assert failed.finished
+    assert failed.to_dict()["error"] == "boom"
+    assert failed.to_dict()["finished_at"] is not None
 
 
 def test_latency_histogram_quantiles():

@@ -1,0 +1,97 @@
+"""MatrixView: the vectorized canonical argmax must equal the scalar
+scan bit for bit — including at large coordinate magnitudes, where the
+matmul's rounding error is *relative* to the score and a fixed
+tolerance band used to drop the exact winner (regression)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.vectorized import MatrixView
+from repro.ordering import neg
+from repro.scoring import score
+
+
+def reference_best(ids, rows, query):
+    """The scalar canonical argmax MatrixView must reproduce exactly."""
+    best = min((-score(r, query), neg(r), i) for i, r in zip(ids, rows))
+    return best[2], -best[0]
+
+
+def test_best_for_matches_scalar_scan_small_magnitudes():
+    rows = [(0.3, 0.7), (0.7, 0.3), (0.5, 0.5), (0.3, 0.7)]
+    view = MatrixView(list(range(4)), rows)
+    for query in [(1.0, 0.0), (0.0, 1.0), (0.5, 0.5), (0.2, 0.8)]:
+        assert view.best_for(query) == reference_best(
+            list(range(4)), rows, query
+        )
+
+
+def test_best_for_empty_view_raises():
+    with pytest.raises(ValueError):
+        MatrixView([], []).best_for((1.0,))
+
+
+def test_best_for_high_magnitude_regression():
+    """Fixed-band regression: these two rows score ~-4.2e10 and differ
+    by ~1e-4 exactly, but the matmul ranks them with error larger than
+    the old fixed 1e-9 band — which excluded the exact winner."""
+    rows = [
+        (-645729423672.261, -531398143962.7751, 856642729273.811),
+        (-645729423672.2605, -531398143962.77484, 856642729273.8105),
+    ]
+    query = (0.5828105982174631, 0.7038528499563493, 0.8270780916312745)
+    view = MatrixView([0, 1], rows)
+    assert view.best_for(query) == reference_best([0, 1], rows, query)
+
+
+def test_best_for_cancellation_regression():
+    """Mixed-sign terms can cancel to a tiny score while the matmul's
+    rounding error stays proportional to the ~1e11 intermediate terms
+    — a band scaled by the *score* magnitude (not the term magnitude)
+    still dropped the exact winner here."""
+    rows = [
+        (297490869326.6809, 259350717377.3098, -534769277134.6597),
+        (297490869326.68115, 259350717377.3107, -534769277134.6592),
+        (297490869326.6816, 259350717377.31036, -534769277134.6591),
+    ]
+    query = (0.5434318467145423, 0.7711915062581616, 0.6763198604457373)
+    ids = [0, 1, 2]
+    view = MatrixView(ids, rows)
+    assert view.best_for(query) == reference_best(ids, rows, query)
+
+
+coordinate = st.floats(
+    min_value=-1e12, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+weight = st.floats(
+    min_value=0.0, max_value=1.0, allow_nan=False, allow_infinity=False
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.data(), dims=st.integers(min_value=1, max_value=4))
+def test_best_for_matches_scalar_scan_any_magnitude(data, dims):
+    row = st.tuples(*[coordinate] * dims)
+    base = data.draw(row)
+    rows = [base]
+    # near-ties of the first row stress the tolerance band: their exact
+    # scores differ by far less than the matmul's rounding error
+    for _ in range(data.draw(st.integers(min_value=1, max_value=5))):
+        if data.draw(st.booleans()):
+            jitter = data.draw(
+                st.tuples(
+                    *[
+                        st.floats(min_value=-1e-3, max_value=1e-3)
+                        for _ in range(dims)
+                    ]
+                )
+            )
+            rows.append(tuple(b + j for b, j in zip(base, jitter)))
+        else:
+            rows.append(data.draw(row))
+    query = data.draw(st.tuples(*[weight] * dims))
+    ids = list(range(len(rows)))
+    assert MatrixView(ids, rows).best_for(query) == reference_best(
+        ids, rows, query
+    )
