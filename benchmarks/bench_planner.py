@@ -1,0 +1,223 @@
+"""Planner quality benchmark: pick accuracy, regret, overhead.
+
+Sweeps a grid of generated instance *shapes* (cardinality ratio,
+dimensionality, distribution, capacity skew, priorities), measures
+every plannable config on every cell, and scores the planner's
+``method="auto"`` pick against the exhaustive per-cell best:
+
+- **regret** — ``(t_pick - t_best) / t_best`` per cell (0 when the
+  planner picks the measured winner);
+- **pick accuracy** — fraction of cells where it does;
+- **planning overhead** — planner wall time as a fraction of the
+  picked config's solve time (must stay well under 1%).
+
+Results append to ``BENCH_planner.json`` next to this script under
+``--label``.  Two extra modes:
+
+- ``--calibrate`` fits the per-config power-law coefficients from the
+  measured grid and prints a ready-to-paste
+  ``repro/planner/calibration.py`` table (it does not edit the file);
+- ``--smoke`` shrinks the grid to a two-cell sanity sweep for CI.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_planner.py --label pr5_planner
+    PYTHONPATH=src python benchmarks/bench_planner.py --calibrate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import statistics
+import time
+from pathlib import Path
+
+from repro.bench.config import _SCALES, current_scale
+from repro.bench.harness import clear_caches, make_instance, run_cell
+from repro.planner import REGISTRY, fit_power_law, plan_instance, profile_instance
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_planner.json"
+
+#: Instance shapes at ``small`` scale (divisor 50); other scales
+#: multiply the cardinalities.  The axes mirror the paper's sweeps:
+#: |F|/|O| ratio (Figures 10/11), dimensionality (Figure 9),
+#: distribution (Figure 12's clustering analogue), capacities and
+#: priorities (Figures 14/15).
+BASE_GRID: tuple[dict, ...] = (
+    dict(nf=24, no=600, dims=3, distribution="anti-correlated"),
+    dict(nf=50, no=1000, dims=4, distribution="anti-correlated"),
+    dict(nf=100, no=2000, dims=4, distribution="anti-correlated"),
+    dict(nf=200, no=800, dims=4, distribution="anti-correlated"),
+    dict(nf=100, no=400, dims=5, distribution="anti-correlated"),
+    dict(nf=40, no=1600, dims=3, distribution="correlated"),
+    dict(nf=100, no=2000, dims=4, distribution="correlated"),
+    dict(nf=100, no=2000, dims=4, distribution="independent"),
+    dict(nf=50, no=500, dims=2, distribution="independent"),
+    dict(nf=60, no=1200, dims=4, distribution="anti-correlated", n_clusters=3),
+    dict(
+        nf=80, no=1000, dims=4, distribution="anti-correlated",
+        function_capacity=4, object_capacity=2,
+    ),
+    dict(
+        nf=60, no=900, dims=3, distribution="independent",
+        max_priority=4,
+    ),
+)
+
+SMOKE_GRID: tuple[dict, ...] = (
+    dict(nf=10, no=120, dims=3, distribution="anti-correlated"),
+    dict(nf=20, no=80, dims=2, distribution="independent"),
+)
+
+
+def scaled_grid(smoke: bool) -> list[dict]:
+    if smoke:
+        return [dict(shape) for shape in SMOKE_GRID]
+    factor = _SCALES["small"] // _SCALES[current_scale()]
+    out = []
+    for shape in BASE_GRID:
+        scaled = dict(shape)
+        scaled["nf"] *= factor
+        scaled["no"] *= factor
+        out.append(scaled)
+    return out
+
+
+def measure_grid(grid: list[dict], repeats: int) -> list[dict]:
+    """Measure every plannable config on every grid cell."""
+    methods = [spec.name for spec in REGISTRY.plannable()]
+    rows = []
+    # One throwaway plan call warms the planner's one-time costs
+    # (model memoization, first-touch numpy kernels) so per-cell
+    # overhead reflects the steady state a live server runs in.
+    warm_functions, warm_objects = make_instance(seed=17, **grid[0])
+    plan_instance(warm_functions, warm_objects)
+    for shape in grid:
+        functions, objects = make_instance(seed=17, **shape)
+        profile = profile_instance(functions, objects)
+        timings: dict[str, float] = {}
+        for method in methods:
+            cells = [
+                run_cell(method, functions, objects, params=shape)
+                for _ in range(repeats)
+            ]
+            timings[method] = min(c.cpu_seconds for c in cells)
+        # Steady-state planning cost: nothing is memoized across these
+        # calls (each one runs a full profile + scoring pass); the min
+        # of three mirrors how a warm server plans.
+        planning_seconds = float("inf")
+        for _ in range(3):
+            plan_start = time.perf_counter()
+            plan = plan_instance(functions, objects)
+            planning_seconds = min(
+                planning_seconds, time.perf_counter() - plan_start
+            )
+        best = min(timings, key=lambda m: (timings[m], m))
+        picked_seconds = timings[plan.method]
+        rows.append(
+            {
+                "shape": shape,
+                "profile": profile.to_dict(),
+                "timings": timings,
+                "best_method": best,
+                "picked_method": plan.method,
+                "picked_correctly": plan.method == best,
+                "regret": (picked_seconds - timings[best]) / timings[best],
+                "planning_seconds": planning_seconds,
+                "planning_overhead_fraction": planning_seconds / picked_seconds,
+                "estimated_seconds": plan.estimated_seconds,
+            }
+        )
+        print(
+            f"  {shape.get('distribution', '?'):<16} |F|={shape['nf']:<5} "
+            f"|O|={shape['no']:<6} dims={shape['dims']} -> "
+            f"pick {plan.method:<16} best {best:<16} "
+            f"regret {rows[-1]['regret']:6.1%} "
+            f"overhead {rows[-1]['planning_overhead_fraction']:.3%}"
+        )
+    return rows
+
+
+def summarize(rows: list[dict]) -> dict:
+    regrets = [r["regret"] for r in rows]
+    overheads = [r["planning_overhead_fraction"] for r in rows]
+    return {
+        "cells": len(rows),
+        "pick_accuracy": sum(r["picked_correctly"] for r in rows) / len(rows),
+        "median_regret": statistics.median(regrets),
+        "max_regret": max(regrets),
+        "median_planning_overhead_fraction": statistics.median(overheads),
+        "max_planning_overhead_fraction": max(overheads),
+    }
+
+
+def print_calibration(rows: list[dict]) -> None:
+    """Fit per-method coefficients and print a calibration table."""
+    from repro.planner import InstanceProfile
+
+    stamp = time.strftime("%Y-%m-%d")
+    print("\n# Paste into src/repro/planner/calibration.py:")
+    print(f'CALIBRATION_VERSION = "{stamp}"')
+    print("CALIBRATION: dict[str, tuple[float, ...]] = {")
+    for spec in REGISTRY.plannable():
+        samples = [
+            (InstanceProfile.from_dict(r["profile"]), r["timings"][spec.name])
+            for r in rows
+        ]
+        coeffs = fit_power_law(samples)
+        rendered = ", ".join(f"{c:.6f}" for c in coeffs)
+        print(f'    "{spec.name}": ({rendered}),')
+    print("}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", default=None, help="snapshot name")
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="two-cell sanity grid (CI)",
+    )
+    parser.add_argument(
+        "--calibrate", action="store_true",
+        help="fit and print the cost-model calibration table",
+    )
+    args = parser.parse_args()
+    if args.label is None and not args.calibrate:
+        parser.error("--label is required unless --calibrate is given")
+
+    clear_caches()
+    grid = scaled_grid(args.smoke)
+    print(f"measuring {len(grid)} cells x "
+          f"{len(REGISTRY.plannable())} plannable configs ...")
+    rows = measure_grid(grid, args.repeats)
+
+    if args.calibrate:
+        print_calibration(rows)
+        return
+
+    summary = summarize(rows)
+    snapshot = {
+        "scale": "smoke" if args.smoke else current_scale(),
+        "repeats": args.repeats,
+        "python": platform.python_version(),
+        "summary": summary,
+        "cells": rows,
+    }
+    results = {}
+    if RESULT_PATH.exists():
+        results = json.loads(RESULT_PATH.read_text())
+    results[args.label] = snapshot
+    RESULT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
+    print(
+        f"{args.label}: accuracy {summary['pick_accuracy']:.0%}, "
+        f"median regret {summary['median_regret']:.1%}, "
+        f"median overhead {summary['median_planning_overhead_fraction']:.4%} "
+        f"-> {RESULT_PATH}"
+    )
+
+
+if __name__ == "__main__":
+    main()

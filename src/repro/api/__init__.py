@@ -46,6 +46,7 @@ from repro.api.problem import Problem, ProblemBuilder
 from repro.api.serde import canonical_digest
 from repro.api.session import AssignmentSession
 from repro.api.solution import Solution, SolutionDiff
+from repro.planner import AUTO_METHOD, InstanceProfile, Plan, PlanCandidate
 from repro.errors import (
     FrozenInstanceError,
     InvalidProblemError,
@@ -59,8 +60,12 @@ from repro.errors import (
 )
 
 __all__ = [
+    "AUTO_METHOD",
     "AssignmentSession",
     "Event",
+    "InstanceProfile",
+    "Plan",
+    "PlanCandidate",
     "FrozenInstanceError",
     "FunctionArrived",
     "FunctionDeparted",

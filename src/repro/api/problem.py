@@ -24,6 +24,7 @@ from pathlib import Path
 
 from repro.api.serde import (
     PROBLEM_SCHEMA,
+    PROBLEM_SCHEMAS,
     SCHEMA_KEY,
     canonical_digest,
     check_payload,
@@ -33,6 +34,7 @@ from repro.api.serde import (
 from repro.core import validate_solver_options
 from repro.data.instances import FunctionSet, ObjectSet, Point
 from repro.errors import InvalidProblemError, SerdeError
+from repro.planner import AUTO_METHOD, Plan, explicit_plan, plan_instance
 
 _OPTION_TYPES = (bool, int, float, str, type(None))
 
@@ -312,7 +314,7 @@ class Problem:
     def from_dict(cls, payload: Mapping) -> "Problem":
         check_payload(
             payload,
-            PROBLEM_SCHEMA,
+            PROBLEM_SCHEMAS,  # v2, plus backward-compatible v1 reads
             required={"objects", "functions", "solver"},
             optional={"index"},
         )
@@ -395,14 +397,51 @@ class Problem:
             cached = self.__dict__["_instance_digest"] = canonical_digest(payload)
         return cached
 
+    # -- planning ------------------------------------------------------
+
+    def plan(self) -> Plan:
+        """The planner's decision for this problem (memoized).
+
+        For ``method="auto"`` this profiles the instance and scores
+        every plannable registry config; for an explicit method it is
+        the trivial plan (``explain()`` works either way).  The
+        decision is a pure, deterministic function of the instance, so
+        memoizing it on this immutable value object makes "resolve
+        once per solve key" hold everywhere the problem travels.
+        """
+        cached = self.__dict__.get("_plan")
+        if cached is None:
+            if self.method == AUTO_METHOD:
+                cached = plan_instance(self.function_set, self.object_set)
+            else:
+                cached = explicit_plan(self.method, dict(self.options))
+            self.__dict__["_plan"] = cached
+        return cached
+
+    @property
+    def resolved_method(self) -> str:
+        """The concrete method a solve will run: ``method`` itself, or
+        the planner's pick when ``method="auto"``."""
+        return self.plan().method
+
+    def explain(self) -> str:
+        """Human-readable transcript of :meth:`plan`."""
+        return self.plan().explain()
+
     def solve_key(self) -> tuple[str, str, str]:
-        """``(instance_digest, method, canonical options JSON)`` — the
-        result-cache identity used by :mod:`repro.server`: two problems
-        with this key equal produce bit-identical solutions."""
+        """``(instance_digest, resolved method, canonical options
+        JSON)`` — the result-cache identity used by
+        :mod:`repro.server`: two problems with this key equal produce
+        bit-identical solutions.  The *resolved* method (see
+        :attr:`resolved_method`) keys the cache, so ``method="auto"``
+        shares cache entries with an explicit pick of the same config
+        — a planner-routed solve and a hand-routed one are the same
+        computation."""
+        plan = self.plan()
         return (
             self.instance_digest(),
-            self.method,
-            to_canonical_json(dict(self.options)),
+            plan.method,
+            to_canonical_json(plan.options_dict()),
         )
 
 

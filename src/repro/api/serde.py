@@ -20,25 +20,40 @@ from typing import Any
 from repro.errors import SerdeError
 
 SCHEMA_KEY = "schema"
-PROBLEM_SCHEMA = "repro.problem/v1"
+#: Current problem schema.  v2 (over v1) admits the planner
+#: pseudo-method ``"auto"`` in the solver section; v1 payloads remain
+#: readable (:data:`PROBLEM_SCHEMAS`) — the sections are otherwise
+#: identical.
+PROBLEM_SCHEMA = "repro.problem/v2"
+PROBLEM_SCHEMA_V1 = "repro.problem/v1"
+#: Schema tags accepted when *reading* a problem payload.
+PROBLEM_SCHEMAS = (PROBLEM_SCHEMA, PROBLEM_SCHEMA_V1)
 SOLUTION_SCHEMA = "repro.solution/v1"
 
 
 def check_payload(
     payload: Any,
-    schema: str,
+    schema: str | tuple[str, ...],
     required: frozenset[str] | set[str],
     optional: frozenset[str] | set[str] = frozenset(),
 ) -> None:
-    """Validate a decoded payload's schema tag and field names."""
+    """Validate a decoded payload's schema tag and field names.
+
+    ``schema`` may be a tuple of acceptable tags (newest first) — the
+    backward-compatible read path for bumped schemas.
+    """
+    accepted = (schema,) if isinstance(schema, str) else tuple(schema)
+    schema = accepted[0]
     if not isinstance(payload, Mapping):
         raise SerdeError(
             f"expected a mapping payload for {schema!r}, "
             f"got {type(payload).__name__}"
         )
     tag = payload.get(SCHEMA_KEY)
-    if tag != schema:
-        raise SerdeError(f"expected schema {schema!r}, got {tag!r}")
+    if tag not in accepted:
+        if len(accepted) == 1:
+            raise SerdeError(f"expected schema {schema!r}, got {tag!r}")
+        raise SerdeError(f"expected schema in {list(accepted)}, got {tag!r}")
     keys = set(payload) - {SCHEMA_KEY}
     missing = set(required) - keys
     if missing:
@@ -74,6 +89,8 @@ def canonical_digest(payload: dict) -> str:
 
 __all__ = [
     "PROBLEM_SCHEMA",
+    "PROBLEM_SCHEMAS",
+    "PROBLEM_SCHEMA_V1",
     "SCHEMA_KEY",
     "SOLUTION_SCHEMA",
     "canonical_digest",

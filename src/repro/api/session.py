@@ -30,6 +30,8 @@ from repro.core.dynamic import DynamicStableMatching
 from repro.core.validate import assert_stable
 from repro.data.instances import FunctionSet, ObjectSet
 from repro.errors import InvalidProblemError, SessionClosedError
+from repro.planner import AUTO_METHOD as _AUTO
+from repro.planner import Plan
 from repro.service.batch import BatchSolver, SolveJob
 
 _DYNAMIC_METHOD = "dynamic"
@@ -140,6 +142,10 @@ class AssignmentSession:
             memory_index=problem.memory_index,
             buffer_fraction=problem.buffer_fraction,
             solve_kwargs=dict(problem.options),
+            # For method="auto": the plan memoized on the immutable
+            # Problem, so one solve key plans exactly once no matter
+            # how many jobs it spawns.
+            plan=problem.plan() if problem.method == _AUTO else None,
         )
 
     def warm(self) -> "AssignmentSession":
@@ -157,12 +163,21 @@ class AssignmentSession:
         return self
 
     def solve(self, problem: Problem | None = None) -> Solution:
-        """Solve the base problem (or an override) synchronously."""
+        """Solve the base problem (or an override) synchronously.
+
+        The returned :attr:`Solution.method` is the *resolved* method
+        that ran — for ``method="auto"`` problems the planner's pick,
+        with the :class:`~repro.planner.Plan` attached as
+        :attr:`Solution.plan`.
+        """
         self._check_open()
         target = problem if problem is not None else self._problem
         job_result = self._batch.solve_one(self._job_for(target))
         return Solution.from_result(
-            job_result.result, method=target.method, problem=target
+            job_result.result,
+            method=job_result.method,
+            problem=target,
+            plan=job_result.plan,
         )
 
     def solve_many(self, problems: Iterable[Problem]) -> list[Solution]:
@@ -176,9 +191,21 @@ class AssignmentSession:
         targets = list(problems)
         results = self._batch.solve_many([self._job_for(p) for p in targets])
         return [
-            Solution.from_result(r.result, method=p.method, problem=p)
+            Solution.from_result(r.result, method=r.method, problem=p, plan=r.plan)
             for p, r in zip(targets, results)
         ]
+
+    def explain(self, problem: Problem | None = None) -> Plan:
+        """The planner's :class:`~repro.planner.Plan` for a problem.
+
+        For ``method="auto"`` this is the full decision artifact
+        (profile, per-candidate estimates, pick); for an explicit
+        method, the trivial plan.  Memoized on the problem — asking
+        before or after :meth:`solve` costs one profile total.
+        """
+        self._check_open()
+        target = problem if problem is not None else self._problem
+        return target.plan()
 
     def submit(self, problem: Problem | None = None) -> Future:
         """Enqueue a solve; returns a ``Future[Solution]``."""

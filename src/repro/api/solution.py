@@ -26,6 +26,7 @@ from repro.core.types import AssignedPair, AssignmentResult, Matching, RunStats
 from repro.core.validate import assert_stable
 from repro.data.instances import FunctionSet, ObjectSet
 from repro.errors import ReproError, SerdeError
+from repro.planner import Plan, explicit_plan
 from repro.storage.stats import IOStats
 
 
@@ -54,14 +55,19 @@ class Solution:
     """An immutable solved assignment.
 
     Equality compares the assignment itself (``pairs`` and ``method``);
-    the run statistics and the back-reference to the solved problem are
-    carried but not compared.
+    the run statistics, the planner's :class:`~repro.planner.Plan`
+    (present when the solve was routed via ``method="auto"``) and the
+    back-reference to the solved problem are carried but not compared.
+    ``method`` is always the *resolved* concrete method that ran — a
+    planner-routed solution is indistinguishable from a hand-routed
+    one except for the attached ``plan``.
     """
 
     pairs: tuple[AssignedPair, ...]
     method: str = "sb"
     stats: RunStats | None = field(default=None, compare=False)
     problem: Problem | None = field(default=None, compare=False, repr=False)
+    plan: Plan | None = field(default=None, compare=False, repr=False)
 
     @classmethod
     def from_result(
@@ -69,13 +75,26 @@ class Solution:
         result: AssignmentResult,
         method: str,
         problem: Problem | None = None,
+        plan: Plan | None = None,
     ) -> "Solution":
         return cls(
             pairs=tuple(result.matching.pairs),
             method=method,
             stats=result.stats,
             problem=problem,
+            plan=plan,
         )
+
+    def explain(self, include_actual: bool = True) -> str:
+        """The planner transcript for this solve (estimated vs actual
+        wall time included when run statistics are attached)."""
+        plan = self.plan
+        if plan is None:
+            plan = explicit_plan(self.method)
+        actual = None
+        if include_actual and self.stats is not None:
+            actual = self.stats.cpu_seconds
+        return plan.explain(actual_seconds=actual)
 
     # -- lookups -------------------------------------------------------
 
@@ -183,12 +202,15 @@ class Solution:
                 "loops": self.stats.loops,
                 "counters": dict(self.stats.counters),
             }
-        return {
+        payload = {
             SCHEMA_KEY: SOLUTION_SCHEMA,
             "method": self.method,
             "pairs": [[p.fid, p.oid, p.score, p.count] for p in self.pairs],
             "stats": stats,
         }
+        if self.plan is not None:
+            payload["plan"] = self.plan.to_dict()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "Solution":
@@ -196,7 +218,7 @@ class Solution:
             payload,
             SOLUTION_SCHEMA,
             required={"method", "pairs"},
-            optional={"stats"},
+            optional={"stats", "plan"},
         )
         try:
             pairs = tuple(
@@ -222,7 +244,9 @@ class Solution:
                 loops=int(raw.get("loops", 0)),
                 counters=dict(raw.get("counters") or {}),
             )
-        return cls(pairs=pairs, method=payload["method"], stats=stats)
+        raw_plan = payload.get("plan")
+        plan = Plan.from_dict(raw_plan) if raw_plan is not None else None
+        return cls(pairs=pairs, method=payload["method"], stats=stats, plan=plan)
 
     def to_json(self) -> str:
         return to_canonical_json(self.to_dict())

@@ -16,7 +16,15 @@ Public entry points:
 
 Every solver above (except the oracles and Brute Force) is a thin
 strategy configuration over :class:`repro.engine.AssignmentEngine`;
-``solve`` also accepts a custom :class:`repro.engine.EngineConfig`.
+``solve`` also accepts a custom :class:`repro.engine.EngineConfig`,
+and ``method="auto"`` defers the pick to the workload-adaptive
+planner (:mod:`repro.planner`).
+
+Dispatch knowledge (name → solve callable → option schema → engine
+config factory) lives in one place — the solver registry,
+:data:`repro.planner.registry.REGISTRY`; the ``SOLVERS`` /
+``SOLVER_OPTIONS`` tables below are derived views kept for
+compatibility.
 """
 
 from repro.core.brute_force import brute_force_assign
@@ -31,40 +39,16 @@ from repro.core.validate import assert_stable, assert_valid_matching, find_block
 from repro.data.instances import FunctionSet, ObjectSet
 from repro.engine.engine import AssignmentEngine, EngineConfig
 from repro.errors import InvalidSolverOptionError, UnknownSolverError
+from repro.planner.registry import AUTO_METHOD, REGISTRY
 
-SOLVERS = {
-    "sb": sb_assign,
-    "sb-update": lambda f, i, **kw: sb_assign(f, i, variant="sb-update", **kw),
-    "sb-deltasky": lambda f, i, **kw: sb_assign(f, i, variant="sb-deltasky", **kw),
-    "sb-two-skylines": sb_two_skyline_assign,
-    "sb-alt": sb_alt_assign,
-    "brute-force": brute_force_assign,
-    "chain": chain_assign,
-}
+#: Name → solve callable, derived from the registry (legacy view).
+SOLVERS = {spec.name: spec.solve for spec in REGISTRY}
 
-_SB_OPTIONS = frozenset(
-    {
-        "omega_fraction",
-        "multi_pair",
-        "biased",
-        "resume",
-        "maintenance",
-        "paged_function_lists",
-    }
-)
-
-#: Keyword overrides accepted by each named solver.  ``solve`` rejects
-#: anything outside these sets up front with a typed error instead of
-#: letting a raw ``TypeError`` escape from an inner solver lambda.
-SOLVER_OPTIONS: dict[str, frozenset[str]] = {
-    "sb": _SB_OPTIONS | {"variant"},
-    "sb-update": _SB_OPTIONS,
-    "sb-deltasky": _SB_OPTIONS,
-    "sb-two-skylines": frozenset({"multi_pair"}),
-    "sb-alt": frozenset({"page_size", "multi_pair"}),
-    "brute-force": frozenset({"function_scan_pages"}),
-    "chain": frozenset({"disk_function_tree"}),
-}
+#: Keyword overrides accepted by each named solver, derived from the
+#: registry (legacy view).  ``solve`` rejects anything outside these
+#: sets up front with a typed error instead of letting a raw
+#: ``TypeError`` escape from an inner solver callable.
+SOLVER_OPTIONS: dict[str, frozenset[str]] = REGISTRY.option_schema()
 
 
 def validate_solver_options(method: str, options: dict | None) -> None:
@@ -73,14 +57,10 @@ def validate_solver_options(method: str, options: dict | None) -> None:
     Raises :class:`~repro.errors.UnknownSolverError` (a ``ValueError``)
     for an unregistered name and
     :class:`~repro.errors.InvalidSolverOptionError` (a ``TypeError``)
-    naming the accepted options for an unknown override.
+    naming the accepted options for an unknown override.  ``"auto"``
+    is accepted (with no options): the planner picks the config.
     """
-    if not isinstance(method, str) or method not in SOLVERS:
-        raise UnknownSolverError(method, SOLVERS)
-    accepted = SOLVER_OPTIONS[method]
-    unknown = set(options or ()) - accepted
-    if unknown:
-        raise InvalidSolverOptionError(method, unknown, accepted)
+    REGISTRY.validate(method, options)
 
 
 def solve(
@@ -94,7 +74,10 @@ def solve(
     ``method`` is one of ``sb`` (the paper's algorithm), ``sb-update`` /
     ``sb-deltasky`` (Figure 8 ablations), ``sb-two-skylines``
     (prioritized variant), ``sb-alt`` (disk-resident functions),
-    ``brute-force`` or ``chain`` — or an
+    ``brute-force`` or ``chain`` — or ``"auto"`` to let the
+    workload-adaptive planner pick from the instance profile (see
+    :mod:`repro.planner`; the run is bit-identical to invoking the
+    resolved method directly) — or an
     :class:`~repro.engine.engine.EngineConfig` to run a custom
     strategy combination directly on the engine.
     """
@@ -110,8 +93,14 @@ def solve(
                 ),
             )
         return AssignmentEngine(method).run(functions, index)
-    validate_solver_options(method, kwargs)
-    return SOLVERS[method](functions, index, **kwargs)
+    REGISTRY.validate(method, kwargs)
+    if method == AUTO_METHOD:
+        from repro.planner.plan import plan_instance
+
+        plan = plan_instance(functions, index.objects)
+        spec = REGISTRY.get(plan.method)
+        return spec.solve(functions, index, **plan.options_dict())
+    return REGISTRY.get(method).solve(functions, index, **kwargs)
 
 
 __all__ = [

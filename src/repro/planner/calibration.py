@@ -1,0 +1,81 @@
+"""The checked-in cost-model calibration table.
+
+Coefficient rows are ordered like
+:data:`repro.planner.profile.FEATURE_NAMES`::
+
+    (intercept, log|F|, log|O|, log dims,
+     object_correlation, weight_skew, log capacity_ratio)
+
+and parameterize ``log(seconds)``; see :mod:`repro.planner.cost`.
+
+Fit by ``benchmarks/bench_planner.py --calibrate`` over a grid of
+generated instance shapes (cardinality sweep × dimensionality ×
+distribution × capacity skew); the grid, host and date are recorded in
+``BENCH_planner.json`` next to the regret numbers measured against
+this very table.  Re-run calibration after touching any engine hot
+path, or on a deployment host whose constant factors differ wildly.
+"""
+
+from __future__ import annotations
+
+#: Identifies which fit produced the table (surfaced in ``explain()``).
+CALIBRATION_VERSION = "2026-07-28"
+
+#: Per-config power-law coefficients (see module docstring for order).
+#: Fit on the 12-cell BASE_GRID of ``benchmarks/bench_planner.py``
+#: (ridge-regularized; see the ``pr5_planner`` row of
+#: ``BENCH_planner.json`` for the regret this table achieves).
+CALIBRATION: dict[str, tuple[float, ...]] = {
+    "sb": (
+        -10.285759,
+        0.538244,
+        0.714973,
+        0.654006,
+        -1.432602,
+        -0.100690,
+        0.007725,
+    ),
+    "sb-update": (
+        -14.361152,
+        0.736554,
+        1.543989,
+        2.447710,
+        -2.033175,
+        -0.370041,
+        -1.144705,
+    ),
+    "sb-deltasky": (
+        -12.621170,
+        0.794619,
+        1.424194,
+        1.557621,
+        -1.689681,
+        -0.359629,
+        -1.023042,
+    ),
+    "sb-two-skylines": (
+        -10.624808,
+        0.316746,
+        1.098800,
+        -0.057633,
+        -1.240715,
+        -0.341247,
+        -0.414988,
+    ),
+    "chain": (
+        -13.300466,
+        0.900542,
+        1.149199,
+        0.893191,
+        -1.205440,
+        -0.180561,
+        -0.734513,
+    ),
+}
+
+#: Pessimistic fallback for configs without a calibrated row: a large
+#: intercept keeps an uncalibrated config from outranking measured
+#: ones while still producing a finite, explainable estimate.
+DEFAULT_ROW: tuple[float, ...] = (0.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0)
+
+__all__ = ["CALIBRATION", "CALIBRATION_VERSION", "DEFAULT_ROW"]

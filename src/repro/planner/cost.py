@@ -1,0 +1,94 @@
+"""Per-config cost models: calibrated power laws over the profile.
+
+Each registered config gets a model of the form::
+
+    log t = b · features(profile)
+
+i.e. a power law in the cardinalities / dimensionality with linear
+shape corrections (see :func:`repro.planner.profile.features`).  The
+coefficient vectors live in the checked-in calibration table
+(:mod:`repro.planner.calibration`), fit from measured wall times by
+``benchmarks/bench_planner.py --calibrate`` on a grid of generated
+instance shapes.
+
+Absolute estimates are only as good as the calibration host; the
+planner never needs them to be — it only ranks candidates, and the
+*ratios* between methods are far more stable across hosts than the
+raw seconds.  ``estimated_seconds`` is still surfaced through
+``explain()`` and the ``/metrics`` estimate-error gauge so drift is
+observable, and the table can be re-fit on the deployment host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from math import exp, log
+
+from repro.planner.calibration import CALIBRATION, DEFAULT_ROW
+from repro.planner.profile import FEATURE_NAMES, InstanceProfile, features
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """One config's fitted power-law cost model."""
+
+    method: str
+    coefficients: tuple[float, ...]
+
+    def estimate_seconds(self, profile: InstanceProfile) -> float:
+        return self.estimate_from_features(features(profile))
+
+    def estimate_from_features(self, x: tuple[float, ...]) -> float:
+        """Estimate from a pre-computed feature vector — the planner
+        scores every candidate against one shared vector rather than
+        re-deriving it per model (planning is on the request path)."""
+        return exp(sum(b * f for b, f in zip(self.coefficients, x)))
+
+
+@lru_cache(maxsize=None)
+def cost_model_for(method: str) -> CostModel:
+    """The calibrated model for a registered config (memoized).
+
+    Falls back to :data:`~repro.planner.calibration.DEFAULT_ROW` for a
+    config the table has no row for (e.g. a freshly registered solver
+    before recalibration) — a deliberately pessimistic row, so an
+    uncalibrated config is never picked over a calibrated one.
+    """
+    row = CALIBRATION.get(method, DEFAULT_ROW)
+    return CostModel(method=method, coefficients=tuple(row))
+
+
+def fit_power_law(
+    samples: list[tuple[InstanceProfile, float]],
+    ridge: float = 0.05,
+) -> tuple[float, ...]:
+    """Ridge-regularized fit of one method's coefficients.
+
+    ``samples`` are ``(profile, measured_seconds)`` pairs; the fit
+    minimizes squared error on ``log(seconds)`` over the feature
+    vector plus an L2 penalty on every non-intercept coefficient.  The
+    penalty matters: calibration grids are small and the shape
+    features (skew, correlation) span narrow ranges there, so plain
+    least squares produces huge mutually-cancelling coefficients that
+    explode the estimates on out-of-grid instances.  Used by the
+    calibration mode of ``benchmarks/bench_planner.py``.
+    """
+    import numpy as np
+
+    if len(samples) < len(FEATURE_NAMES):
+        raise ValueError(
+            f"need at least {len(FEATURE_NAMES)} samples to fit "
+            f"{len(FEATURE_NAMES)} coefficients, got {len(samples)}"
+        )
+    x = np.asarray([features(p) for p, _ in samples], dtype=np.float64)
+    y = np.asarray(
+        [log(max(seconds, 1e-9)) for _, seconds in samples], dtype=np.float64
+    )
+    penalty = np.eye(x.shape[1]) * ridge
+    penalty[0, 0] = 0.0  # the intercept absorbs the host constant
+    coeffs = np.linalg.solve(x.T @ x + penalty, x.T @ y)
+    return tuple(float(c) for c in coeffs)
+
+
+__all__ = ["CostModel", "cost_model_for", "fit_power_law"]

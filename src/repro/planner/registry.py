@@ -1,0 +1,316 @@
+"""The solver registry — one table from which every layer dispatches.
+
+Before this module existed, method-name knowledge was smeared across
+three places: ``repro.core.solve`` owned a name → callable dict plus a
+separate name → option-schema dict, ``repro.engine.configs`` owned the
+name → :class:`~repro.engine.engine.EngineConfig` factories, and the
+API layer re-validated names against the core dicts.  Adding a solver
+(or asking "which methods could the planner pick here?") meant editing
+all of them in lockstep.
+
+Now a :class:`SolverSpec` carries everything known about one named
+method — the solve entry point, the engine-config factory, the option
+schema, the cost-model key and whether the workload-adaptive planner
+may pick it — and :data:`REGISTRY` is the single table that
+``repro.core.solve``, :class:`~repro.api.problem.Problem` validation,
+the planner and the server all consult.
+
+The solve / config callables import their implementations lazily so
+this module stays import-light: ``repro.core.__init__`` derives its
+public ``SOLVERS`` / ``SOLVER_OPTIONS`` tables from the registry, and
+a module-level import of the solver functions here would be circular.
+
+``method="auto"`` is *not* a spec: it is the planner pseudo-method
+(:data:`AUTO_METHOD`) that :meth:`SolverRegistry.validate` accepts and
+:func:`repro.planner.plan.plan_instance` resolves to one of the
+``plannable`` specs below.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import InvalidSolverOptionError, UnknownSolverError
+
+#: The planner pseudo-method: accepted wherever a method name is,
+#: resolved to a concrete registered config before any engine runs.
+AUTO_METHOD = "auto"
+
+_SB_OPTIONS = frozenset(
+    {
+        "omega_fraction",
+        "multi_pair",
+        "biased",
+        "resume",
+        "maintenance",
+        "paged_function_lists",
+    }
+)
+
+
+# -- lazy solve entry points -------------------------------------------------
+# Each closure imports its implementation on first call; see the module
+# docstring for why these are not plain module-level imports.
+
+
+def _solve_sb(functions, index, **kw):
+    from repro.core.sb import sb_assign
+
+    return sb_assign(functions, index, **kw)
+
+
+def _solve_sb_update(functions, index, **kw):
+    from repro.core.sb import sb_assign
+
+    return sb_assign(functions, index, variant="sb-update", **kw)
+
+
+def _solve_sb_deltasky(functions, index, **kw):
+    from repro.core.sb import sb_assign
+
+    return sb_assign(functions, index, variant="sb-deltasky", **kw)
+
+
+def _solve_two_skylines(functions, index, **kw):
+    from repro.core.priority import sb_two_skyline_assign
+
+    return sb_two_skyline_assign(functions, index, **kw)
+
+
+def _solve_sb_alt(functions, index, **kw):
+    from repro.core.sb_alt import sb_alt_assign
+
+    return sb_alt_assign(functions, index, **kw)
+
+
+def _solve_brute_force(functions, index, **kw):
+    from repro.core.brute_force import brute_force_assign
+
+    return brute_force_assign(functions, index, **kw)
+
+
+def _solve_chain(functions, index, **kw):
+    from repro.core.chain import chain_assign
+
+    return chain_assign(functions, index, **kw)
+
+
+def _config_sb(**kw):
+    from repro.engine.configs import sb_config
+
+    return sb_config("sb", **kw)
+
+
+def _config_sb_update(**kw):
+    from repro.engine.configs import sb_config
+
+    return sb_config("sb-update", **kw)
+
+
+def _config_sb_deltasky(**kw):
+    from repro.engine.configs import sb_config
+
+    return sb_config("sb-deltasky", **kw)
+
+
+def _config_two_skylines(**kw):
+    from repro.engine.configs import two_skyline_config
+
+    return two_skyline_config(**kw)
+
+
+def _config_sb_alt(**kw):
+    from repro.engine.configs import sb_alt_config
+
+    return sb_alt_config(**kw)
+
+
+def _config_chain(**kw):
+    from repro.engine.configs import chain_config
+
+    return chain_config(**kw)
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """Everything the stack knows about one named solver."""
+
+    name: str
+    #: One-line description (README registry table, ``explain()``).
+    summary: str
+    #: Keyword overrides the solver accepts; anything else is rejected
+    #: up front with a typed error.
+    options: frozenset[str]
+    #: May ``method="auto"`` resolve to this config?  Excluded are
+    #: ``brute-force`` (the Section 4.1 baseline, quadratic in
+    #: ``|F|·|O|`` page accesses) and ``sb-alt`` (the Section 7.6
+    #: disk-resident-*function* setting, which also wants a
+    #: memory-resident object tree — a different storage model the
+    #: caller must opt into explicitly).
+    plannable: bool
+    #: ``(functions, index, **options) -> AssignmentResult``.
+    solve: Callable[..., Any] = field(repr=False)
+    #: ``(**options) -> EngineConfig``; ``None`` for the one solver
+    #: (brute-force) that does not run on the unified engine.
+    config_factory: Callable[..., Any] | None = field(repr=False)
+    #: Row name in the planner's calibration table.
+    cost_key: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.cost_key:
+            object.__setattr__(self, "cost_key", self.name)
+
+    @property
+    def engine_backed(self) -> bool:
+        return self.config_factory is not None
+
+    def engine_config(self, **overrides):
+        """Build this solver's :class:`EngineConfig` (with overrides)."""
+        if self.config_factory is None:
+            raise UnknownSolverError(
+                self.name,
+                [s.name for s in SPECS if s.engine_backed],
+                kind="engine config",
+            )
+        return self.config_factory(**overrides)
+
+    def validate_options(self, options: Mapping[str, Any] | None) -> None:
+        unknown = set(options or ()) - self.options
+        if unknown:
+            raise InvalidSolverOptionError(self.name, unknown, self.options)
+
+
+SPECS: tuple[SolverSpec, ...] = (
+    SolverSpec(
+        name="sb",
+        summary="the paper's SB: resumable biased Ω-bounded TA, multi-pair",
+        options=_SB_OPTIONS | {"variant"},
+        plannable=True,
+        solve=_solve_sb,
+        config_factory=_config_sb,
+    ),
+    SolverSpec(
+        name="sb-update",
+        summary="Figure 8 ablation: fresh round-robin TA, single-pair",
+        options=_SB_OPTIONS,
+        plannable=True,
+        solve=_solve_sb_update,
+        config_factory=_config_sb_update,
+    ),
+    SolverSpec(
+        name="sb-deltasky",
+        summary="Figure 8 ablation: DeltaSky maintenance",
+        options=_SB_OPTIONS,
+        plannable=True,
+        solve=_solve_sb_deltasky,
+        config_factory=_config_sb_deltasky,
+    ),
+    SolverSpec(
+        name="sb-two-skylines",
+        summary="prioritized two-skyline variant (Section 6.2)",
+        options=frozenset({"multi_pair"}),
+        plannable=True,
+        solve=_solve_two_skylines,
+        config_factory=_config_two_skylines,
+    ),
+    SolverSpec(
+        name="sb-alt",
+        summary="disk-resident function lists, batch TA sweep (Section 7.6)",
+        options=frozenset({"page_size", "multi_pair"}),
+        plannable=False,
+        solve=_solve_sb_alt,
+        config_factory=_config_sb_alt,
+    ),
+    SolverSpec(
+        name="brute-force",
+        summary="Section 4.1 baseline: repeated best-pair extraction",
+        options=frozenset({"function_scan_pages"}),
+        plannable=False,
+        solve=_solve_brute_force,
+        config_factory=None,
+    ),
+    SolverSpec(
+        name="chain",
+        summary="the adapted Chain of Wong et al. [25]: mutual top-1 chase",
+        options=frozenset({"disk_function_tree"}),
+        plannable=True,
+        solve=_solve_chain,
+        config_factory=_config_chain,
+    ),
+)
+
+
+class SolverRegistry:
+    """Name → :class:`SolverSpec` lookup with typed validation."""
+
+    def __init__(self, specs: tuple[SolverSpec, ...] = SPECS):
+        self._specs: dict[str, SolverSpec] = {s.name: s for s in specs}
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __iter__(self):
+        return iter(self._specs.values())
+
+    def names(self) -> tuple[str, ...]:
+        """Registered concrete method names (``auto`` excluded)."""
+        return tuple(self._specs)
+
+    def method_names(self) -> tuple[str, ...]:
+        """Every name accepted as ``method=`` — specs plus ``auto``."""
+        return (*self._specs, AUTO_METHOD)
+
+    def get(self, name: str) -> SolverSpec:
+        spec = self._specs.get(name) if isinstance(name, str) else None
+        if spec is None:
+            raise UnknownSolverError(name, self.method_names())
+        return spec
+
+    def plannable(self) -> tuple[SolverSpec, ...]:
+        """The specs ``method="auto"`` may resolve to."""
+        return tuple(s for s in self if s.plannable)
+
+    def option_schema(self) -> dict[str, frozenset[str]]:
+        """``{name: accepted options}`` (the legacy table shape)."""
+        return {s.name: s.options for s in self}
+
+    def validate(self, method: str, options: Mapping[str, Any] | None) -> None:
+        """Check a method name and its keyword overrides.
+
+        Raises :class:`~repro.errors.UnknownSolverError` (a
+        ``ValueError``) for an unregistered name and
+        :class:`~repro.errors.InvalidSolverOptionError` (a
+        ``TypeError``) for an unaccepted override.  ``auto`` is valid
+        and accepts no options — the planner owns the configuration of
+        whatever it picks.
+        """
+        if method == AUTO_METHOD:
+            if options:
+                raise InvalidSolverOptionError(
+                    AUTO_METHOD,
+                    options,
+                    (),
+                    message=(
+                        "method='auto' accepts no solver options: the "
+                        "planner picks the config (and its options) from "
+                        "the instance profile; pick a concrete method to "
+                        "pass overrides"
+                    ),
+                )
+            return
+        self.get(method).validate_options(options)
+
+
+#: The process-wide registry every layer consults.
+REGISTRY = SolverRegistry()
+
+
+__all__ = [
+    "AUTO_METHOD",
+    "REGISTRY",
+    "SPECS",
+    "SolverRegistry",
+    "SolverSpec",
+]

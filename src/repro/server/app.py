@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import dataclasses
 import logging
 import threading
 import time
@@ -35,6 +36,7 @@ from dataclasses import dataclass
 from repro.api.problem import Problem
 from repro.api.session import AssignmentSession
 from repro.api.solution import Solution
+from repro.planner import AUTO_METHOD
 from repro.errors import (
     InvalidProblemError,
     InvalidSolverOptionError,
@@ -252,10 +254,37 @@ class ReproServer:
 
     # -- the solve funnel ----------------------------------------------
 
+    def _finalize_solve(
+        self, problem: Problem, solution: Solution, cached: bool, elapsed: float
+    ) -> Solution:
+        """Attribute the served solution to *this* request's plan.
+
+        The plan belongs to the request, not the cache entry: auto and
+        explicit picks of one config share a solve key, so a cached
+        solution may carry the plan of whichever request populated it.
+        An auto request served from an explicit-populated entry must
+        still report its (memoized, deterministic — same key, same
+        decision) plan and count a planner pick; an explicit request
+        replaying an auto-populated entry must carry neither.
+        """
+        request_plan = (
+            problem.plan() if problem.method == AUTO_METHOD else None
+        )
+        if (solution.plan is None) != (request_plan is None):
+            solution = dataclasses.replace(solution, plan=request_plan)
+        # Latency histograms key on the *resolved* method, so auto-
+        # routed traffic lands in the same histogram as explicit picks
+        # of the same config; the planner section of /metrics counts
+        # how it was routed.
+        self._metrics.record_solve(
+            solution.method, elapsed, solution, cached, plan=request_plan
+        )
+        return solution
+
     async def _solve(self, problem: Problem) -> tuple[Solution, bool, float]:
         """``(solution, served_from_cache, seconds)`` — cache lookup,
         single-flight coalescing, then the session's thread pool."""
-        key = problem.solve_key()
+        key = problem.solve_key()  # plans method="auto" (memoized)
         start = time.perf_counter()
         pending = self._inflight.get(key)
         if pending is not None:
@@ -265,13 +294,11 @@ class ReproServer:
             # not cancel the shared solve.
             solution = await asyncio.shield(pending)
             elapsed = time.perf_counter() - start
-            self._metrics.record_solve(problem.method, elapsed, solution, True)
-            return solution, True, elapsed
+            return self._finalize_solve(problem, solution, True, elapsed), True, elapsed
         solution = self._solutions.get(key)
         if solution is not None:
             elapsed = time.perf_counter() - start
-            self._metrics.record_solve(problem.method, elapsed, solution, True)
-            return solution, True, elapsed
+            return self._finalize_solve(problem, solution, True, elapsed), True, elapsed
         assert self._loop is not None
         future: asyncio.Future = self._loop.create_future()
         self._inflight[key] = future
@@ -290,8 +317,7 @@ class ReproServer:
         finally:
             self._inflight.pop(key, None)
         elapsed = time.perf_counter() - start
-        self._metrics.record_solve(problem.method, elapsed, solution, False)
-        return solution, False, elapsed
+        return self._finalize_solve(problem, solution, False, elapsed), False, elapsed
 
     def _busy_response(self) -> Response:
         self._metrics.rejected_total += 1
@@ -311,15 +337,19 @@ class ReproServer:
         self, problem_id: str, problem: Problem, solution: Solution,
         cache_hit: bool, seconds: float,
     ) -> Response:
-        return Response.json(
-            {
-                "problem_id": problem_id,
-                "method": problem.method,
-                "cache_hit": cache_hit,
-                "wall_seconds": seconds,
-                "solution": solution.to_dict(),
-            }
-        )
+        envelope = {
+            "problem_id": problem_id,
+            "method": problem.method,
+            "resolved_method": solution.method,
+            "cache_hit": cache_hit,
+            "wall_seconds": seconds,
+            "solution": solution.to_dict(),
+        }
+        # ``_finalize_solve`` already normalized the plan to this
+        # request (present iff the request asked for method="auto").
+        if solution.plan is not None:
+            envelope["plan"] = solution.plan.to_dict()
+        return Response.json(envelope)
 
     # -- endpoint handlers ---------------------------------------------
 

@@ -136,6 +136,9 @@ class Job:
                 "job_id": self.job_id,
                 "problem_id": self.problem_id,
                 "method": self.problem.method,
+                # The planner's pick for method="auto" (== method for
+                # explicit picks; memoized on the immutable Problem).
+                "resolved_method": self.problem.resolved_method,
                 "options": dict(self.problem.options),
                 "status": self.status,
                 "submitted_at": self.submitted_at,

@@ -11,6 +11,7 @@ saturated queue or a regressed hot path without a metrics dependency.
 from __future__ import annotations
 
 import time
+from bisect import bisect_left
 from collections import Counter
 
 #: Upper bucket bounds in seconds; chosen to straddle the engine's
@@ -48,10 +49,12 @@ class LatencyHistogram:
         self.max_seconds = 0.0
 
     def observe(self, seconds: float) -> None:
-        for i, bound in enumerate(self.buckets):
-            if seconds <= bound:
-                self.counts[i] += 1
-                break
+        # Buckets are sorted upper bounds, so "first bound with
+        # seconds <= bound" is a binary search — this runs on every
+        # request, and a linear scan of the bucket list was the one
+        # O(buckets) step on that path.  The final +inf bound
+        # guarantees the index is always valid.
+        self.counts[bisect_left(self.buckets, seconds)] += 1
         self.count += 1
         self.sum_seconds += seconds
         self.max_seconds = max(self.max_seconds, seconds)
@@ -104,6 +107,12 @@ class ServerMetrics:
         self.jobs_failed = 0
         self.solves_total = 0
         self.solve_cache_hits = 0
+        # Planner observability: how often method="auto" resolved to
+        # each config, and how honest its latency estimates are.
+        self.planner_picks: Counter[str] = Counter()
+        self.planner_estimate_samples = 0
+        self.planner_abs_error_seconds = 0.0
+        self.planner_abs_relative_error = 0.0
         self.latency: dict[str, LatencyHistogram] = {}
         # Aggregate engine-run cost, accumulated from each fresh
         # (non-cached) solve's RunStats.
@@ -116,7 +125,17 @@ class ServerMetrics:
         self.requests_total += 1
         self.responses_by_status[status] += 1
 
-    def record_solve(self, method: str, seconds: float, solution, cached: bool) -> None:
+    def record_solve(
+        self, method: str, seconds: float, solution, cached: bool, plan=None
+    ) -> None:
+        """Record one served solve.
+
+        ``plan`` is the planner decision *of this request* — passed
+        only when the request asked for ``method="auto"`` (a cached
+        solution may carry the plan of the auto solve that populated
+        it, which must not count picks for explicit requests replaying
+        the entry).
+        """
         self.solves_total += 1
         if cached:
             self.solve_cache_hits += 1
@@ -125,6 +144,24 @@ class ServerMetrics:
             histogram = self.latency[method] = LatencyHistogram()
         histogram.observe(seconds)
         stats = getattr(solution, "stats", None)
+        if plan is not None and plan.auto:
+            # One pick per served auto-solve: the decision applies to
+            # this request whether the engine ran or the cache answered.
+            self.planner_picks[plan.method] += 1
+            if not cached and plan.estimated_seconds is not None:
+                # Compare against what the model was calibrated on —
+                # engine solve time, not the queue-inclusive service
+                # latency (under a saturated worker pool the elapsed
+                # time is mostly waiting, which would read as model
+                # drift when the estimate is fine).
+                actual = seconds
+                if stats is not None and stats.cpu_seconds > 0:
+                    actual = stats.cpu_seconds
+                if actual > 0:
+                    error = abs(plan.estimated_seconds - actual)
+                    self.planner_estimate_samples += 1
+                    self.planner_abs_error_seconds += error
+                    self.planner_abs_relative_error += error / actual
         if not cached and stats is not None:
             self.engine_physical_reads += stats.io.physical_reads
             self.engine_logical_reads += stats.io.logical_reads
@@ -158,6 +195,27 @@ class ServerMetrics:
             "solves": {
                 "total": self.solves_total,
                 "cache_hits": self.solve_cache_hits,
+            },
+            "planner": {
+                "picks": {
+                    method: n for method, n in sorted(self.planner_picks.items())
+                },
+                "auto_solves": sum(self.planner_picks.values()),
+                "estimate": {
+                    "samples": self.planner_estimate_samples,
+                    "mean_abs_error_seconds": (
+                        self.planner_abs_error_seconds
+                        / self.planner_estimate_samples
+                        if self.planner_estimate_samples
+                        else 0.0
+                    ),
+                    "mean_abs_relative_error": (
+                        self.planner_abs_relative_error
+                        / self.planner_estimate_samples
+                        if self.planner_estimate_samples
+                        else 0.0
+                    ),
+                },
             },
             "latency": {
                 method: hist.to_dict() for method, hist in self.latency.items()

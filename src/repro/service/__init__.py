@@ -15,6 +15,7 @@ from repro.service.batch import (
     BatchSolver,
     JobResult,
     ObjectIndexCache,
+    ResolvedJob,
     SolveJob,
     object_set_fingerprint,
 )
@@ -26,6 +27,7 @@ __all__ = [
     "JobResult",
     "ObjectIndexCache",
     "ProcessPoolSolver",
+    "ResolvedJob",
     "SolveJob",
     "object_set_fingerprint",
 ]

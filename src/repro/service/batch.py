@@ -40,6 +40,7 @@ from repro.core import solve
 from repro.core.index import ObjectIndex, build_object_index
 from repro.core.types import AssignmentResult
 from repro.data.instances import FunctionSet, ObjectSet
+from repro.planner import AUTO_METHOD, Plan, plan_instance
 
 
 def object_set_fingerprint(objects: ObjectSet) -> str:
@@ -79,8 +80,9 @@ class SolveJob:
 
     functions: FunctionSet
     objects: ObjectSet
-    #: Solver name, or an :class:`~repro.engine.engine.EngineConfig`
-    #: for a custom strategy combination.
+    #: Solver name (``"auto"`` defers to the planner), or an
+    #: :class:`~repro.engine.engine.EngineConfig` for a custom
+    #: strategy combination.
     method: str | object = "sb"
     job_id: str | None = None
     page_size: int = 4096
@@ -89,6 +91,11 @@ class SolveJob:
     memory_index: bool | None = None
     buffer_fraction: float = 0.02
     solve_kwargs: dict = field(default_factory=dict)
+    #: Pre-resolved planner decision for ``method="auto"`` jobs.  The
+    #: session layer passes the :meth:`Problem.plan` memo here so one
+    #: problem plans exactly once per solve key; left ``None``, the
+    #: solver resolves the plan itself on first touch.
+    plan: Plan | None = None
 
     @property
     def method_name(self) -> str:
@@ -99,8 +106,47 @@ class SolveJob:
     @property
     def wants_memory_index(self) -> bool:
         if self.memory_index is None:
+            if self.method == AUTO_METHOD:
+                return self.resolve().method_name == "sb-alt"
             return self.method_name == "sb-alt"
         return self.memory_index
+
+    def resolve(self) -> "ResolvedJob":
+        """The concrete ``(method, options, plan)`` this job will run.
+
+        For ``method="auto"`` the planner resolves (and memoizes on
+        the job) the pick; every other method passes through.  All
+        downstream consumers — the thread executor, the process
+        executor's wire payload, the index-mode choice — read the
+        *resolved* method, so an ``auto`` job is indistinguishable
+        from an explicitly routed one by the time an engine runs.
+        """
+        if self.method == AUTO_METHOD:
+            if self.plan is None:
+                # Benign race if two threads resolve concurrently: the
+                # planner is deterministic, both compute the same plan.
+                self.plan = plan_instance(self.functions, self.objects)
+            return ResolvedJob(
+                method=self.plan.method,
+                solve_kwargs=self.plan.options_dict(),
+                plan=self.plan,
+            )
+        return ResolvedJob(
+            method=self.method, solve_kwargs=dict(self.solve_kwargs), plan=None
+        )
+
+
+@dataclass(frozen=True)
+class ResolvedJob:
+    """A :class:`SolveJob` after planner resolution."""
+
+    method: str | object
+    solve_kwargs: dict
+    plan: Plan | None
+
+    @property
+    def method_name(self) -> str:
+        return getattr(self.method, "name", self.method)
 
 
 @dataclass
@@ -108,10 +154,13 @@ class JobResult:
     """A solved job plus its service-level bookkeeping."""
 
     job_id: str
+    #: The *resolved* method that ran (never ``"auto"``).
     method: str
     result: AssignmentResult
     index_cache_hit: bool
     wall_seconds: float
+    #: The planner's decision, for jobs submitted with ``method="auto"``.
+    plan: Plan | None = None
 
     @property
     def matching(self):
@@ -289,6 +338,10 @@ class BatchSolver:
 
     def _run_job(self, position: int, job: SolveJob) -> JobResult:
         start = time.perf_counter()
+        # Resolve the plan *before* the index-mode choice: the engine
+        # must see exactly what a direct invocation of the resolved
+        # method would see (index backend included).
+        resolved = job.resolve()
         index, run_lock, hit = self.cache.get(
             job.objects, job.page_size, job.wants_memory_index
         )
@@ -301,16 +354,17 @@ class BatchSolver:
             try:
                 index.reset_for_run(buffer_fraction=job.buffer_fraction)
                 result = solve(
-                    job.functions, index, method=job.method,
-                    **job.solve_kwargs,
+                    job.functions, index, method=resolved.method,
+                    **resolved.solve_kwargs,
                 )
             finally:
                 with self._concurrency_guard:
                     self._in_flight -= 1
         return JobResult(
             job_id=job.job_id if job.job_id is not None else f"job-{position}",
-            method=job.method_name,
+            method=resolved.method_name,
             result=result,
             index_cache_hit=hit,
             wall_seconds=time.perf_counter() - start,
+            plan=resolved.plan,
         )

@@ -55,6 +55,7 @@ from repro.data.instances import FunctionSet, ObjectSet
 from repro.service.batch import (
     JobResult,
     ObjectIndexCache,
+    ResolvedJob,
     SolveJob,
     object_set_fingerprint,
 )
@@ -93,14 +94,21 @@ def require_named_method(job: SolveJob) -> None:
         )
 
 
-def job_to_payload(job: SolveJob) -> dict:
+def job_to_payload(job: SolveJob, resolved: ResolvedJob | None = None) -> dict:
     """The job as the canonical JSON-compatible instance payload.
 
     Mirrors the ``objects`` / ``functions`` / ``solver`` / ``index``
     sections of :meth:`repro.api.problem.Problem.to_dict`, so the same
     schema that crosses the HTTP boundary crosses the process boundary.
+
+    ``method="auto"`` jobs are planner-resolved *parent-side* (once,
+    see :meth:`SolveJob.resolve`) — the wire carries the concrete
+    method, so a worker executes exactly what a direct invocation of
+    the chosen config would, and workers need no planner at all.
     """
     require_named_method(job)
+    if resolved is None:
+        resolved = job.resolve()
     objects, functions = job.objects, job.functions
     return {
         "objects": {
@@ -122,7 +130,10 @@ def job_to_payload(job: SolveJob) -> dict:
                 else None
             ),
         },
-        "solver": {"method": job.method, "options": dict(job.solve_kwargs)},
+        "solver": {
+            "method": resolved.method,
+            "options": dict(resolved.solve_kwargs),
+        },
         "index": {
             "page_size": job.page_size,
             "memory": job.wants_memory_index,
@@ -191,6 +202,7 @@ class _JobHandle:
 
     position: int
     job: SolveJob
+    resolved: ResolvedJob
     started: float
     future: Future
 
@@ -299,7 +311,9 @@ class ProcessPoolSolver:
     def submit_job(self, position: int, job: SolveJob) -> _JobHandle:
         """Dispatch one job; pair with :meth:`collect`."""
         started = time.perf_counter()
-        payload = job_to_payload(job)  # raises before touching the pool
+        require_named_method(job)  # raises before planning or pooling
+        resolved = job.resolve()  # plans "auto" once, parent-side
+        payload = job_to_payload(job, resolved)
         key = (
             object_set_fingerprint(job.objects),
             job.page_size,
@@ -326,7 +340,7 @@ class ProcessPoolSolver:
                 self.peak_concurrency, min(self._in_flight, self.max_workers)
             )
         future.add_done_callback(self._on_job_done)
-        return _JobHandle(position, job, started, future)
+        return _JobHandle(position, job, resolved, started, future)
 
     def collect(self, handle: _JobHandle) -> JobResult:
         """Await one dispatched job and fold its counters back in."""
@@ -343,10 +357,11 @@ class ProcessPoolSolver:
                 if job.job_id is not None
                 else f"job-{handle.position}"
             ),
-            method=job.method_name,
+            method=handle.resolved.method_name,
             result=result,
             index_cache_hit=hit,
             wall_seconds=time.perf_counter() - handle.started,
+            plan=handle.resolved.plan,
         )
 
     def solve_one(self, job: SolveJob, position: int = 0) -> JobResult:

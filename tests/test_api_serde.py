@@ -45,6 +45,8 @@ _METHOD_OPTIONS = {
     "sb-alt": {"page_size": st.sampled_from([512, 1024, 4096])},
     "chain": {"disk_function_tree": st.booleans()},
     "brute-force": {"function_scan_pages": st.integers(0, 4)},
+    # The planner pseudo-method: valid in serde, accepts no options.
+    "auto": {},
 }
 
 
@@ -133,7 +135,33 @@ def test_problem_json_round_trip_is_canonical(problem):
     # Canonical form is a fixpoint: re-encoding yields the same bytes.
     assert restored.to_json() == text
     # And the payload is genuinely JSON (a service could ship it).
-    assert json.loads(text)["schema"] == "repro.problem/v1"
+    assert json.loads(text)["schema"] == "repro.problem/v2"
+
+
+def test_problem_v1_payload_still_reads():
+    """Schema bump compatibility: a payload written by a pre-planner
+    release (tagged ``repro.problem/v1``) must keep deserializing —
+    the sections are identical, v2 only admits ``method="auto"``."""
+    fs, os_ = random_instance(3, 5, 2, seed=4)
+    problem = Problem.from_sets(os_, fs, method="sb")
+    payload = problem.to_dict()
+    assert payload["schema"] == "repro.problem/v2"
+    payload["schema"] = "repro.problem/v1"
+    restored = Problem.from_dict(payload)
+    assert restored == problem
+    # Re-encoding always emits the current schema.
+    assert restored.to_dict()["schema"] == "repro.problem/v2"
+
+
+def test_auto_method_serde_round_trip():
+    fs, os_ = random_instance(3, 5, 2, seed=5)
+    problem = Problem.from_sets(os_, fs, method="auto")
+    restored = Problem.from_json(problem.to_json())
+    assert restored == problem
+    assert restored.method == "auto"
+    # The resolved method keys the cache; both sides resolve equally.
+    assert restored.solve_key() == problem.solve_key()
+    assert restored.solve_key()[1] != "auto"
 
 
 # ---------------------------------------------------------------------------

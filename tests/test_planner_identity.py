@@ -1,0 +1,315 @@
+"""The planner's bit-identical guarantee: for every config the planner
+can emit, ``method="auto"`` produces *exactly* what directly invoking
+the chosen config produces — pairs bit for bit plus the measured-work
+counters (I/O, loops, peak memory, solver counters) — at batch,
+session and embedded-server level, on both executors.
+
+Two layers of coverage:
+
+- **natural picks** — real instances routed by the checked-in
+  calibration table, compared against a direct invocation of whatever
+  the planner picked;
+- **forced picks** — the cost model is monkeypatched to favour each
+  plannable config in turn, so the guarantee is exercised for every
+  config the planner could ever emit, not just the ones this host's
+  calibration happens to choose.
+"""
+
+import pytest
+
+from repro.api import AssignmentSession, Problem
+from repro.planner import REGISTRY, CostModel
+from repro.service import BatchSolver, SolveJob
+
+from .conftest import random_instance
+
+PLANNABLE = tuple(spec.name for spec in REGISTRY.plannable())
+
+
+def make_problem(method="auto", nf=7, no=30, dims=3, seed=11, **kwargs):
+    functions, objects = random_instance(nf, no, dims, seed=seed, **kwargs)
+    return Problem.from_sets(objects, functions, method=method)
+
+
+def job_for(problem, method):
+    return SolveJob(
+        functions=problem.function_set,
+        objects=problem.object_set,
+        method=method,
+    )
+
+
+def signature(result):
+    """Everything that must not differ between auto and direct runs."""
+    stats = result.stats
+    return (
+        [(p.fid, p.oid, p.score, p.count) for p in result.matching.pairs],
+        stats.io.physical_reads,
+        stats.io.logical_reads,
+        stats.io.physical_writes,
+        stats.loops,
+        stats.peak_memory_bytes,
+        dict(stats.counters),
+    )
+
+
+def solution_signature(solution):
+    stats = solution.stats
+    return (
+        [(p.fid, p.oid, p.score, p.count) for p in solution.pairs],
+        stats.io.physical_reads,
+        stats.io.logical_reads,
+        stats.io.physical_writes,
+        stats.loops,
+        stats.peak_memory_bytes,
+        dict(stats.counters),
+    )
+
+
+def favor(monkeypatch, method):
+    """Make the planner deterministically pick ``method``."""
+
+    def fake_cost_model(name):
+        intercept = -20.0 if name == method else 0.0
+        return CostModel(name, (intercept, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0))
+
+    monkeypatch.setattr("repro.planner.plan.cost_model_for", fake_cost_model)
+
+
+@pytest.fixture(scope="module")
+def process_solver():
+    with BatchSolver(executor="process", max_workers=2) as solver:
+        yield solver
+
+
+# ---------------------------------------------------------------------------
+# Batch level
+# ---------------------------------------------------------------------------
+
+
+def test_auto_matches_natural_pick_on_thread_batch():
+    problem = make_problem()
+    solver = BatchSolver()
+    auto_result = solver.solve_one(job_for(problem, "auto"))
+    assert auto_result.plan is not None
+    chosen = auto_result.plan.method
+    assert auto_result.method == chosen != "auto"
+    direct = solver.solve_one(job_for(problem, chosen))
+    assert signature(auto_result.result) == signature(direct.result)
+
+
+@pytest.mark.parametrize("method", PLANNABLE)
+def test_auto_matches_every_forced_pick_on_thread_batch(monkeypatch, method):
+    favor(monkeypatch, method)
+    problem = make_problem(seed=23, capacities=True, priorities=True)
+    solver = BatchSolver()
+    auto_result = solver.solve_one(job_for(problem, "auto"))
+    assert auto_result.method == method
+    assert auto_result.plan.method == method
+    direct = solver.solve_one(job_for(problem, method))
+    assert signature(auto_result.result) == signature(direct.result)
+
+
+@pytest.mark.parametrize("method", PLANNABLE)
+def test_auto_matches_every_forced_pick_on_process_batch(
+    monkeypatch, method, process_solver
+):
+    # Planner resolution happens parent-side (the wire carries the
+    # concrete method), so the monkeypatched cost model applies to the
+    # process backend too — workers never plan.
+    favor(monkeypatch, method)
+    problem = make_problem(seed=29)
+    auto_result = process_solver.solve_one(job_for(problem, "auto"))
+    assert auto_result.method == method
+    direct = process_solver.solve_one(job_for(problem, method))
+    assert signature(auto_result.result) == signature(direct.result)
+
+
+def test_auto_plan_resolved_once_per_job(monkeypatch):
+    calls = []
+    from repro.planner.plan import plan_instance as real_plan
+
+    def counting_plan(functions, objects, *args, **kwargs):
+        calls.append(1)
+        return real_plan(functions, objects, *args, **kwargs)
+
+    monkeypatch.setattr("repro.service.batch.plan_instance", counting_plan)
+    problem = make_problem(seed=31)
+    job = job_for(problem, "auto")
+    solver = BatchSolver()
+    solver.solve_one(job)
+    # The resolved plan is memoized on the job: re-running it (or the
+    # memory-index probe consulting it) must not re-profile.
+    solver.solve_one(job)
+    assert sum(calls) == 1
+
+
+# ---------------------------------------------------------------------------
+# Session level
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+def test_auto_matches_direct_at_session_level(executor):
+    problem = make_problem(seed=37)
+    with AssignmentSession(problem, executor=executor, max_workers=2) as session:
+        auto_solution = session.solve()
+        assert auto_solution.plan is not None
+        chosen = auto_solution.method
+        assert chosen in PLANNABLE
+        direct_solution = session.solve(problem.with_method(chosen))
+        assert direct_solution.plan is None  # explicit pick: no planning
+        assert solution_signature(auto_solution) == (
+            solution_signature(direct_solution)
+        )
+        # The session surfaces the decision artifact.
+        plan = session.explain()
+        assert plan.method == chosen
+        assert plan.auto
+
+
+@pytest.mark.parametrize("method", PLANNABLE)
+def test_session_solve_many_mixed_auto_and_direct(monkeypatch, method):
+    favor(monkeypatch, method)
+    problem = make_problem(seed=41)
+    with AssignmentSession(problem) as session:
+        auto_sol, direct_sol = session.solve_many(
+            [problem, problem.with_method(method)]
+        )
+        assert auto_sol.method == method
+        assert solution_signature(auto_sol) == solution_signature(direct_sol)
+
+
+# ---------------------------------------------------------------------------
+# Embedded-server level
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+def test_auto_matches_direct_through_embedded_server(executor):
+    from repro.server import Client, ServerConfig, running_server
+
+    problem = make_problem(seed=43)
+    config = ServerConfig(port=0, executor=executor, workers=2)
+    with running_server(config) as handle:
+        with Client(f"http://127.0.0.1:{handle.port}") as client:
+            auto_solution = client.solve(problem)
+            assert auto_solution.plan is not None
+            chosen = auto_solution.method
+            assert chosen in PLANNABLE
+            direct_solution = client.solve(problem.with_method(chosen))
+            assert solution_signature(auto_solution) == (
+                solution_signature(direct_solution)
+            )
+
+
+def test_server_auto_shares_cache_with_explicit_pick():
+    """method="auto" and an explicit pick of the resolved config key
+    the solution cache identically (the solve key carries the
+    *resolved* method), so the second request is a cache hit."""
+    from repro.server import Client, ServerConfig, running_server
+
+    problem = make_problem(seed=47)
+    with running_server(ServerConfig(port=0)) as handle:
+        with Client(f"http://127.0.0.1:{handle.port}") as client:
+            auto_solution = client.solve(problem)
+            metrics = client.metrics()
+            assert metrics["solution_cache"]["misses"] == 1
+            explicit = problem.with_method(auto_solution.method)
+            client.solve(explicit)
+            metrics = client.metrics()
+            # No second engine run: the explicit pick hit the entry
+            # the auto solve populated.
+            assert metrics["solution_cache"]["hits"] == 1
+            assert metrics["solution_cache"]["misses"] == 1
+            assert metrics["planner"]["picks"] == {
+                auto_solution.method: 1
+            }
+
+
+def test_server_auto_from_explicit_populated_cache_still_reports_plan():
+    """Plan attribution is per-request, not per-cache-entry: an auto
+    request served from an entry an *explicit* pick populated must
+    still carry its plan and count a planner pick (the decision is
+    deterministic — same solve key, same plan)."""
+    from repro.server import Client, ServerConfig, running_server
+
+    problem = make_problem(seed=61)
+    resolved = problem.resolved_method
+    with running_server(ServerConfig(port=0)) as handle:
+        with Client(f"http://127.0.0.1:{handle.port}") as client:
+            explicit_solution = client.solve(problem.with_method(resolved))
+            assert explicit_solution.plan is None
+            auto_solution = client.solve(problem)  # cache hit
+            metrics = client.metrics()
+            assert metrics["solution_cache"]["hits"] == 1
+            assert auto_solution.plan is not None
+            assert auto_solution.plan.requested == "auto"
+            assert auto_solution.plan.method == resolved
+            assert metrics["planner"]["picks"] == {resolved: 1}
+
+
+def test_server_explicit_from_auto_populated_cache_carries_no_plan():
+    """...and the symmetric case: an explicit request replaying an
+    auto-populated entry gets a plan-free solution over the wire."""
+    from repro.server import Client, ServerConfig, running_server
+
+    problem = make_problem(seed=67)
+    with running_server(ServerConfig(port=0)) as handle:
+        with Client(f"http://127.0.0.1:{handle.port}") as client:
+            auto_solution = client.solve(problem)
+            assert auto_solution.plan is not None
+            explicit_solution = client.solve(
+                problem.with_method(auto_solution.method)
+            )  # cache hit on the auto-populated entry
+            metrics = client.metrics()
+            assert metrics["solution_cache"]["hits"] == 1
+            assert explicit_solution.plan is None
+            assert metrics["planner"]["picks"] == {auto_solution.method: 1}
+
+
+def test_server_metrics_expose_planner_picks_and_estimate_error():
+    from repro.server import Client, ServerConfig, running_server
+
+    problem = make_problem(seed=53)
+    with running_server(ServerConfig(port=0)) as handle:
+        with Client(f"http://127.0.0.1:{handle.port}") as client:
+            first = client.solve(problem)
+            client.solve(problem)  # cache hit still counts a pick
+            metrics = client.metrics()
+            planner = metrics["planner"]
+            assert planner["picks"] == {first.method: 2}
+            assert planner["auto_solves"] == 2
+            # One fresh solve fed the estimate-error gauge.
+            assert planner["estimate"]["samples"] == 1
+            assert planner["estimate"]["mean_abs_relative_error"] >= 0.0
+            # Latency histograms key on the resolved method, never on
+            # the pseudo-method.
+            assert first.method in metrics["latency"]
+            assert "auto" not in metrics["latency"]
+
+
+def test_server_envelope_carries_plan_and_resolved_method():
+    import json
+    from urllib.request import Request, urlopen
+
+    from repro.server import ServerConfig, running_server
+
+    problem = make_problem(seed=59)
+    with running_server(ServerConfig(port=0)) as handle:
+        body = json.dumps({"problem": problem.to_dict()}).encode()
+        request = Request(
+            f"http://127.0.0.1:{handle.port}/v1/solve",
+            data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with urlopen(request) as response:
+            envelope = json.loads(response.read())
+    assert envelope["method"] == "auto"
+    assert envelope["resolved_method"] in PLANNABLE
+    plan = envelope["plan"]
+    assert plan["requested"] == "auto"
+    assert plan["method"] == envelope["resolved_method"]
+    assert {c["method"] for c in plan["candidates"]} == set(PLANNABLE)
+    assert plan["profile"]["num_functions"] == problem.num_functions
+    # The embedded solution carries the same plan payload.
+    assert envelope["solution"]["plan"] == plan

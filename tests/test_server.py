@@ -46,6 +46,26 @@ def test_health_and_metrics_shape(client):
     assert metrics["queue"]["limit"] == 32
     assert metrics["solution_cache"]["entries"] == 0
     assert metrics["http"]["requests_total"] >= 1
+    # The planner section exists even before any auto traffic.
+    assert metrics["planner"]["picks"] == {}
+    assert metrics["planner"]["estimate"]["samples"] == 0
+
+
+def test_auto_method_served_end_to_end_with_planner_metrics(client):
+    """The CI smoke contract: a method="auto" solve over the wire
+    resolves to a concrete config, is bit-identical to requesting that
+    config explicitly, and shows up in /metrics planner counters."""
+    problem = make_problem(method="auto")
+    auto_solution = client.solve(problem)
+    assert auto_solution.method != "auto"
+    assert auto_solution.plan is not None
+    assert auto_solution.plan.requested == "auto"
+    direct = client.solve(problem.with_method(auto_solution.method))
+    assert direct.pairs == auto_solution.pairs
+    metrics = client.metrics()
+    assert metrics["planner"]["picks"] == {auto_solution.method: 1}
+    assert metrics["planner"]["auto_solves"] == 1
+    assert "auto" not in metrics["latency"]
 
 
 def test_registration_dedupes_by_digest(client):

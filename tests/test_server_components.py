@@ -227,3 +227,58 @@ def test_server_metrics_engine_accumulation_skips_cache_hits():
     )
     assert snapshot["latency"]["sb"]["count"] == 2
     assert snapshot["engine"]["cpu_seconds"] == 0.25
+
+
+def test_latency_histogram_bisect_matches_linear_reference():
+    """``observe`` binary-searches the bucket bounds; its placement
+    must agree with the first-bound-with-seconds<=bound linear scan it
+    replaced, including exactly-on-a-bound values and +inf overflow."""
+    from repro.server.metrics import LATENCY_BUCKETS
+
+    def linear_bucket(seconds):
+        for i, bound in enumerate(LATENCY_BUCKETS):
+            if seconds <= bound:
+                return i
+        raise AssertionError("unreachable: buckets end with +inf")
+
+    probes = [0.0, 1e-9, 5e-4, 0.00051, 0.001, 0.0024, 0.25, 9.99, 10.0, 11.0, 1e9]
+    probes += [b for b in LATENCY_BUCKETS if b != float("inf")]
+    hist = LatencyHistogram()
+    expected = [0] * len(LATENCY_BUCKETS)
+    for seconds in probes:
+        hist.observe(seconds)
+        expected[linear_bucket(seconds)] += 1
+    assert hist.counts == expected
+    assert hist.count == len(probes)
+
+
+def test_server_metrics_planner_picks_and_estimate_error():
+    from repro.planner import Plan
+
+    metrics = ServerMetrics()
+    auto_plan = Plan(
+        requested="auto",
+        method="chain",
+        estimated_seconds=0.08,
+        planning_seconds=0.0001,
+    )
+
+    class FakeSolution:
+        stats = None
+        plan = auto_plan
+
+    # Fresh auto solve: pick counted, estimate error sampled.
+    metrics.record_solve("chain", 0.1, FakeSolution(), cached=False, plan=auto_plan)
+    # Cached auto solve: pick counted, no estimate sample.
+    metrics.record_solve("chain", 0.001, FakeSolution(), cached=True, plan=auto_plan)
+    # Explicit request replaying the same cached entry: no pick.
+    metrics.record_solve("chain", 0.001, FakeSolution(), cached=True)
+    snapshot = metrics.snapshot(
+        queue={"depth": 0}, solution_cache={}, index_cache={}
+    )
+    planner = snapshot["planner"]
+    assert planner["picks"] == {"chain": 2}
+    assert planner["auto_solves"] == 2
+    assert planner["estimate"]["samples"] == 1
+    assert planner["estimate"]["mean_abs_error_seconds"] == pytest.approx(0.02)
+    assert planner["estimate"]["mean_abs_relative_error"] == pytest.approx(0.2)
