@@ -1,15 +1,23 @@
-"""Perf-trajectory baseline for the engine refactor.
+"""Perf-trajectory baseline for the engine hot paths.
 
 Runs the paper's Table 2 default configuration (scaled, see
-``repro.bench.config``) through the ``sb`` solver and records
-wall-time / I/O / memory into ``BENCH_engine.json`` next to this
-script.  Run once before a refactor with ``--label pre_refactor`` and
-once after with ``--label post_refactor``; later PRs append further
-labelled snapshots so the repo carries its own perf trajectory.
+``repro.bench.config``) through one or more registered solvers and
+records wall-time / I/O / memory into ``BENCH_engine.json`` next to
+this script.  Run once before a refactor with ``--label pre_refactor``
+and once after with ``--label post_refactor``; later PRs append
+further labelled snapshots so the repo carries its own perf
+trajectory.
+
+``--method`` accepts any registry name (see ``repro.planner.REGISTRY``)
+and comma-separated lists, so one invocation produces comparable
+scalar-vs-vectorized rows; ``--nf/--no/--dims`` override the Table 2
+shape for sweep points beyond the default cell.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_engine_refactor.py --label post_refactor
+    PYTHONPATH=src python benchmarks/bench_engine_refactor.py \
+        --label pr6_vectorized --method sb,sb-vec --repeats 5
 """
 
 from __future__ import annotations
@@ -22,13 +30,21 @@ from pathlib import Path
 
 from repro.bench.config import current_scale, defaults
 from repro.bench.harness import clear_caches, make_instance, run_cell
+from repro.planner import REGISTRY
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
-def measure(method: str, repeats: int) -> dict:
+def measure(
+    method: str,
+    repeats: int,
+    nf: int | None = None,
+    no: int | None = None,
+    dims: int | None = None,
+) -> dict:
     d = defaults()
-    functions, objects = make_instance(d.nf, d.no, d.dims, d.distribution, seed=2)
+    nf, no, dims = nf or d.nf, no or d.no, dims or d.dims
+    functions, objects = make_instance(nf, no, dims, d.distribution, seed=2)
     cells = [
         run_cell(
             method,
@@ -43,9 +59,9 @@ def measure(method: str, repeats: int) -> dict:
     return {
         "method": method,
         "scale": current_scale(),
-        "nf": d.nf,
-        "no": d.no,
-        "dims": d.dims,
+        "nf": nf,
+        "no": no,
+        "dims": dims,
         "repeats": repeats,
         "wall_seconds_median": statistics.median(times),
         "wall_seconds_min": min(times),
@@ -62,21 +78,43 @@ def main() -> None:
         "--label", required=True,
         help="snapshot name, e.g. pre_refactor / post_refactor",
     )
-    parser.add_argument("--method", default="sb")
+    parser.add_argument(
+        "--method", default="sb",
+        help="registry method name, or a comma-separated list of them",
+    )
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--nf", type=int, help="override Table 2 |F|")
+    parser.add_argument("--no", type=int, dest="no_", help="override Table 2 |O|")
+    parser.add_argument("--dims", type=int, help="override Table 2 D")
     args = parser.parse_args()
 
+    methods = [m.strip() for m in args.method.split(",") if m.strip()]
+    for method in methods:
+        REGISTRY.validate(method, None)
+
     clear_caches()
-    snapshot = measure(args.method, args.repeats)
-    snapshot["python"] = platform.python_version()
+    rows = []
+    for method in methods:
+        snapshot = measure(
+            method, args.repeats, nf=args.nf, no=args.no_, dims=args.dims
+        )
+        snapshot["python"] = platform.python_version()
+        rows.append(snapshot)
 
     results = {}
     if RESULT_PATH.exists():
         results = json.loads(RESULT_PATH.read_text())
-    results[args.label] = snapshot
+    # A single-method run keeps the historical flat-dict snapshot
+    # shape; multi-method runs store the comparable rows as a list.
+    results[args.label] = rows[0] if len(rows) == 1 else rows
     RESULT_PATH.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
-    print(f"{args.label}: {snapshot['wall_seconds_median']:.3f}s median "
-          f"({snapshot['io_accesses']} page reads) -> {RESULT_PATH}")
+    for snapshot in rows:
+        print(
+            f"{args.label}[{snapshot['method']}] "
+            f"{snapshot['nf']}x{snapshot['no']} d={snapshot['dims']}: "
+            f"{snapshot['wall_seconds_median']:.3f}s median "
+            f"({snapshot['io_accesses']} page reads) -> {RESULT_PATH}"
+        )
 
 
 if __name__ == "__main__":

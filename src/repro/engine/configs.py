@@ -17,7 +17,12 @@ config                skyline              best-pair search     commit
 ``sb-two-skylines``   UpdateSkyline        exhaustive Fsky      multi-pair
                                            scan
 ``chain``             (none)               mutual top-1 chase   multi-pair
+``sb-vec``            columnar masks       one matmul/round     multi-pair
+``sb-deltasky-vec``   columnar masks       one matmul/round     single-pair
 ===================  ==================  ===================  ===========
+
+The two ``*-vec`` configs are the columnar twins of
+:mod:`repro.kernels` — bit-identical pairs, vectorized inner loops.
 
 Individual keyword arguments override a preset (for the ablation
 benchmarks), exactly as the pre-refactor solver signatures did.
@@ -121,6 +126,18 @@ def chain_config(*, disk_function_tree: bool = False) -> EngineConfig:
     )
 
 
+def _vectorized_factory(name: str):
+    """Lazy factory for the columnar configs of :mod:`repro.kernels`
+    (imported on first use — the kernels package imports the engine)."""
+
+    def factory(**kw):
+        from repro.kernels.configs import VECTORIZED_CONFIGS
+
+        return VECTORIZED_CONFIGS[name](**kw)
+
+    return factory
+
+
 #: Every engine-backed solver by name; values are config factories so
 #: callers can pass per-run keyword overrides.
 ENGINE_CONFIGS = {
@@ -130,6 +147,8 @@ ENGINE_CONFIGS = {
     "sb-alt": sb_alt_config,
     "sb-two-skylines": two_skyline_config,
     "chain": chain_config,
+    "sb-vec": _vectorized_factory("sb-vec"),
+    "sb-deltasky-vec": _vectorized_factory("sb-deltasky-vec"),
 }
 
 

@@ -40,6 +40,7 @@ class MutualBestRound(RoundStrategy):
     def __init__(self, ctx: EngineContext, search: BestPairSearch):
         self.ctx = ctx
         self.search = search
+        self._sky_view: MatrixView | None = None
 
     def propose(self, skyline: SkylineState) -> list[StablePair] | None:
         # (a) best alive function of every skyline object (strategy).
@@ -48,8 +49,13 @@ class MutualBestRound(RoundStrategy):
             return None
 
         # (b) best skyline object of every candidate function
-        #     (vectorized canonical scan of the in-memory skyline).
-        skyline_view = MatrixView.from_dict(skyline)
+        #     (vectorized canonical scan of the in-memory skyline,
+        #     diff-synced across rounds instead of rebuilt).
+        if self._sky_view is None:
+            self._sky_view = MatrixView.from_dict(skyline)
+        else:
+            self._sky_view.sync(skyline)
+        skyline_view = self._sky_view
         candidate_fids = sorted({fid for fid, _ in fbest.values()})
         obest: dict[int, int] = {}
         for fid in candidate_fids:

@@ -255,6 +255,7 @@ class FskySearch:
             (fid, ctx.functions.effective_weights(fid))
             for fid in range(len(ctx.functions))
         ])
+        self._fsky_view: MatrixView | None = None
 
     def best_functions(self, skyline: SkylineState):
         fsky = self.manager.skyline
@@ -264,7 +265,11 @@ class FskySearch:
         )
         if not fsky:
             return None
-        fsky_view = MatrixView.from_dict(fsky)
+        if self._fsky_view is None:
+            self._fsky_view = MatrixView.from_dict(fsky)
+        else:
+            self._fsky_view.sync(fsky)
+        fsky_view = self._fsky_view
         return {
             oid: fsky_view.best_for(self.objects.points[oid])
             for oid in sorted(skyline)

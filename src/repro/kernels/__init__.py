@@ -1,0 +1,63 @@
+"""Columnar numpy solve kernels — the vectorized twins of the
+interpreted engine configs.
+
+The interpreted solvers walk objects one at a time: per-object reverse
+TA searches, R-tree skyline maintenance, per-pair Python bookkeeping.
+This package rewrites the engine's inner loops over flat float64
+arrays built once per solve (:class:`~repro.kernels.columnar.ColumnarInstance`):
+
+- batch Pareto filtering and incremental skyline-membership
+  maintenance (:mod:`repro.kernels.pareto`,
+  :class:`~repro.kernels.skyline.VectorizedSkylineMaintenance`);
+- one matmul per round answering *both* mutual-best directions
+  (fbest and obest) with exact canonical tie-resolution inside a
+  rounding-error tolerance band
+  (:class:`~repro.kernels.rounds.VectorizedMutualRound`);
+- array capacity/alive vectors seeding the masks the kernels filter
+  by (per-pair commit bookkeeping stays engine-owned — it is O(pairs),
+  not O(|F|·|O|)).
+
+**The oracle discipline.**  Every vectorized config is a *bit-identical
+twin* of an interpreted config: same pairs in the same order with the
+same float scores, same loop count.  The interpreted configs remain
+the ground truth — ``tests/test_kernels.py`` verifies each twin
+pair-for-pair (and the planner identity suite exercises the vectorized
+configs through batch/session/server on both executors).  Exactness
+comes from the MatrixView pattern generalized: numpy produces a
+*candidate band* (everything within a term-magnitude-scaled tolerance
+of the approximate maximum), and the canonical winner is resolved
+inside the band with :func:`repro.scoring.score` and the canonical
+tuple orders of :mod:`repro.ordering`.
+
+**Instrumentation.**  ``loops`` and ``skyline_final_size`` are exact
+(the round structure is the scalar one).  ``io_accesses`` is 0 by
+construction — the kernels never touch the object R-tree — and peak
+memory gauges the columnar arrays plus the round score matrix instead
+of TA states and BBS heaps; both divergences are documented in the
+README's "Columnar kernels" section.
+"""
+
+from repro.kernels.columnar import ColumnarInstance
+from repro.kernels.configs import (
+    VECTORIZED_CONFIGS,
+    sb_deltasky_vec_assign,
+    sb_deltasky_vec_config,
+    sb_vec_assign,
+    sb_vec_config,
+)
+from repro.kernels.pareto import dominated_mask, pareto_mask
+from repro.kernels.rounds import VectorizedMutualRound
+from repro.kernels.skyline import VectorizedSkylineMaintenance
+
+__all__ = [
+    "ColumnarInstance",
+    "VECTORIZED_CONFIGS",
+    "VectorizedMutualRound",
+    "VectorizedSkylineMaintenance",
+    "dominated_mask",
+    "pareto_mask",
+    "sb_deltasky_vec_assign",
+    "sb_deltasky_vec_config",
+    "sb_vec_assign",
+    "sb_vec_config",
+]

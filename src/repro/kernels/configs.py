@@ -1,0 +1,78 @@
+"""Vectorized engine configs and their solve entry points.
+
+``sb-vec`` is the columnar twin of ``sb`` (multi-pair commit) and
+``sb-deltasky-vec`` the twin of ``sb-deltasky`` (single-pair commit,
+matching the unoptimized preset of its interpreted namesake).  Both
+run inside the ordinary :class:`~repro.engine.engine.AssignmentEngine`
+round loop — only the maintenance and round seams are columnar — so
+commit, capacity and loop accounting are literally the shared engine
+code, not re-implementations.
+
+The maintenance and round strategies share one
+:class:`~repro.kernels.columnar.ColumnarInstance` and the maintenance
+object itself (the round reads its skyline masks).  Config builders
+may be reused across runs and threads, so the handoff between
+``build_maintenance`` and ``build_round`` is keyed by the identity of
+the per-run :class:`~repro.engine.engine.EngineContext` rather than
+stored on the factory.
+"""
+
+from __future__ import annotations
+
+from repro.core.types import AssignmentResult
+from repro.data.instances import FunctionSet
+from repro.engine.commit import build_commit_policy
+from repro.engine.engine import AssignmentEngine, EngineConfig, EngineContext
+from repro.kernels.columnar import ColumnarInstance
+from repro.kernels.rounds import VectorizedMutualRound
+from repro.kernels.skyline import VectorizedSkylineMaintenance
+
+
+def _vectorized_config(name: str, multi_pair: bool) -> EngineConfig:
+    pending: dict[int, VectorizedSkylineMaintenance] = {}
+
+    def build_maintenance(ctx: EngineContext) -> VectorizedSkylineMaintenance:
+        maintenance = VectorizedSkylineMaintenance(
+            ctx, ColumnarInstance(ctx.functions, ctx.objects)
+        )
+        pending[id(ctx)] = maintenance
+        return maintenance
+
+    def build_round(ctx: EngineContext) -> VectorizedMutualRound:
+        return VectorizedMutualRound(ctx, pending.pop(id(ctx)))
+
+    return EngineConfig(
+        name=name,
+        build_maintenance=build_maintenance,
+        build_round=build_round,
+        build_commit=lambda ctx: build_commit_policy(ctx, multi_pair),
+    )
+
+
+def sb_vec_config(*, multi_pair: bool = True) -> EngineConfig:
+    """Columnar twin of ``sb`` (multi-pair commit by default)."""
+    return _vectorized_config("sb-vec", multi_pair)
+
+
+def sb_deltasky_vec_config(*, multi_pair: bool = False) -> EngineConfig:
+    """Columnar twin of ``sb-deltasky`` (single-pair commit by default,
+    the unoptimized preset of the interpreted variant)."""
+    return _vectorized_config("sb-deltasky-vec", multi_pair)
+
+
+def sb_vec_assign(functions: FunctionSet, index, **kwargs) -> AssignmentResult:
+    return AssignmentEngine(sb_vec_config(**kwargs)).run(functions, index)
+
+
+def sb_deltasky_vec_assign(
+    functions: FunctionSet, index, **kwargs
+) -> AssignmentResult:
+    return AssignmentEngine(sb_deltasky_vec_config(**kwargs)).run(functions, index)
+
+
+#: Vectorized config factories by name, mirroring
+#: :data:`repro.engine.configs.ENGINE_CONFIGS`.
+VECTORIZED_CONFIGS = {
+    "sb-vec": sb_vec_config,
+    "sb-deltasky-vec": sb_deltasky_vec_config,
+}

@@ -19,57 +19,75 @@ path, or on a deployment host whose constant factors differ wildly.
 from __future__ import annotations
 
 #: Identifies which fit produced the table (surfaced in ``explain()``).
-CALIBRATION_VERSION = "2026-07-28"
+CALIBRATION_VERSION = "2026-08-07"
 
 #: Per-config power-law coefficients (see module docstring for order).
 #: Fit on the 12-cell BASE_GRID of ``benchmarks/bench_planner.py``
-#: (ridge-regularized; see the ``pr5_planner`` row of
+#: (ridge-regularized; see the ``pr6_vectorized`` row of
 #: ``BENCH_planner.json`` for the regret this table achieves).
 CALIBRATION: dict[str, tuple[float, ...]] = {
     "sb": (
-        -10.285759,
-        0.538244,
-        0.714973,
-        0.654006,
-        -1.432602,
-        -0.100690,
-        0.007725,
+        -10.063131,
+        0.376324,
+        0.927641,
+        0.655316,
+        -1.105363,
+        -0.277872,
+        -0.419298,
     ),
     "sb-update": (
-        -14.361152,
-        0.736554,
-        1.543989,
-        2.447710,
-        -2.033175,
-        -0.370041,
-        -1.144705,
+        -13.533466,
+        0.014496,
+        2.134646,
+        2.553650,
+        -1.697230,
+        -0.355290,
+        -1.825919,
     ),
     "sb-deltasky": (
-        -12.621170,
-        0.794619,
-        1.424194,
-        1.557621,
-        -1.689681,
-        -0.359629,
-        -1.023042,
+        -12.909816,
+        0.767813,
+        1.522235,
+        1.619222,
+        -1.513530,
+        -0.306141,
+        -1.129819,
+    ),
+    "sb-vec": (
+        -9.772043,
+        -1.016999,
+        1.880904,
+        0.484288,
+        0.134541,
+        -0.427810,
+        -1.356181,
+    ),
+    "sb-deltasky-vec": (
+        -9.513580,
+        -0.664572,
+        1.668363,
+        1.094969,
+        -0.067335,
+        -0.362357,
+        -1.504886,
     ),
     "sb-two-skylines": (
-        -10.624808,
-        0.316746,
-        1.098800,
-        -0.057633,
-        -1.240715,
-        -0.341247,
-        -0.414988,
+        -9.191738,
+        -0.136625,
+        1.302008,
+        0.225897,
+        -0.917943,
+        -0.266889,
+        -0.856239,
     ),
     "chain": (
-        -13.300466,
-        0.900542,
-        1.149199,
-        0.893191,
-        -1.205440,
-        -0.180561,
-        -0.734513,
+        -12.987448,
+        0.983729,
+        1.033351,
+        0.968316,
+        -1.132400,
+        -0.125111,
+        -0.699639,
     ),
 }
 

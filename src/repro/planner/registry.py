@@ -73,6 +73,18 @@ def _solve_sb_deltasky(functions, index, **kw):
     return sb_assign(functions, index, variant="sb-deltasky", **kw)
 
 
+def _solve_sb_vec(functions, index, **kw):
+    from repro.kernels.configs import sb_vec_assign
+
+    return sb_vec_assign(functions, index, **kw)
+
+
+def _solve_sb_deltasky_vec(functions, index, **kw):
+    from repro.kernels.configs import sb_deltasky_vec_assign
+
+    return sb_deltasky_vec_assign(functions, index, **kw)
+
+
 def _solve_two_skylines(functions, index, **kw):
     from repro.core.priority import sb_two_skyline_assign
 
@@ -113,6 +125,18 @@ def _config_sb_deltasky(**kw):
     from repro.engine.configs import sb_config
 
     return sb_config("sb-deltasky", **kw)
+
+
+def _config_sb_vec(**kw):
+    from repro.kernels.configs import sb_vec_config
+
+    return sb_vec_config(**kw)
+
+
+def _config_sb_deltasky_vec(**kw):
+    from repro.kernels.configs import sb_deltasky_vec_config
+
+    return sb_deltasky_vec_config(**kw)
 
 
 def _config_two_skylines(**kw):
@@ -206,6 +230,22 @@ SPECS: tuple[SolverSpec, ...] = (
         plannable=True,
         solve=_solve_sb_deltasky,
         config_factory=_config_sb_deltasky,
+    ),
+    SolverSpec(
+        name="sb-vec",
+        summary="columnar twin of sb: batch Pareto, one matmul per round",
+        options=frozenset({"multi_pair"}),
+        plannable=True,
+        solve=_solve_sb_vec,
+        config_factory=_config_sb_vec,
+    ),
+    SolverSpec(
+        name="sb-deltasky-vec",
+        summary="columnar twin of sb-deltasky: incremental mask repair",
+        options=frozenset({"multi_pair"}),
+        plannable=True,
+        solve=_solve_sb_deltasky_vec,
+        config_factory=_config_sb_deltasky_vec,
     ),
     SolverSpec(
         name="sb-two-skylines",

@@ -1,0 +1,246 @@
+"""The columnar kernels of :mod:`repro.kernels`.
+
+Three layers of coverage:
+
+- **batch Pareto kernels vs the scalar oracle** — hypothesis property
+  tests check :func:`~repro.kernels.pareto.pareto_mask`,
+  :func:`~repro.kernels.pareto.dominated_mask` and
+  :func:`~repro.kernels.pareto.dominator_index` against
+  :func:`repro.skyline.reference.naive_skyline` /
+  :func:`repro.rtree.geometry.dominates` on mixed-sign coordinates,
+  exact float ties and duplicate points;
+- **bit-identity against the interpreted twins** — ``sb-vec`` must
+  reproduce ``sb`` (and ``sb-deltasky-vec`` must reproduce
+  ``sb-deltasky``) pair for pair: same (fid, oid, score, units)
+  sequence, same loop count, on plain / tie-heavy / capacitated /
+  prioritized instances and through the batch solver on both
+  executors;
+- **stability certificates** — the vectorized solvers' matchings pass
+  :meth:`repro.api.Solution.verify` (no blocking pair).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import AssignmentSession, Problem
+from repro.core import build_object_index, solve
+from repro.kernels import (
+    ColumnarInstance,
+    VectorizedSkylineMaintenance,
+    dominated_mask,
+    pareto_mask,
+)
+from repro.kernels.pareto import dominator_index
+from repro.rtree.geometry import dominates
+from repro.service import BatchSolver, SolveJob
+from repro.skyline.reference import naive_skyline
+
+from .conftest import random_instance
+
+# ---------------------------------------------------------------------------
+# Batch Pareto kernels vs the scalar oracle
+# ---------------------------------------------------------------------------
+
+# Mixed signs, exact-tie magnets (including negative ones) and full
+# floats: maximizes duplicate rows, tied sums and tied coordinates.
+mixed_coord = st.one_of(
+    st.sampled_from([-1.0, -0.5, 0.0, 0.25, 0.5, 1.0]),
+    st.floats(min_value=-1e3, max_value=1e3, allow_nan=False, width=32),
+)
+
+
+def mixed_points(dims: int, max_size: int = 60):
+    return st.lists(
+        st.tuples(*([mixed_coord] * dims)), min_size=0, max_size=max_size
+    ).map(lambda pts: (dims, pts))
+
+
+def as_matrix(dims: int, points: list) -> np.ndarray:
+    return np.asarray(points, dtype=np.float64).reshape(len(points), dims)
+
+
+@given(st.integers(2, 5).flatmap(mixed_points))
+@settings(max_examples=120, deadline=None)
+def test_pareto_mask_matches_naive_skyline(case):
+    dims, points = case
+    mask = pareto_mask(as_matrix(dims, points))
+    expected = naive_skyline(list(enumerate(points)))
+    assert set(np.nonzero(mask)[0]) == set(expected)
+
+
+@given(st.integers(2, 4).flatmap(lambda d: st.tuples(
+    mixed_points(d, max_size=25), mixed_points(d, max_size=25),
+)))
+@settings(max_examples=100, deadline=None)
+def test_dominated_mask_matches_scalar_dominates(pair):
+    (dims, points), (_, dominators) = pair
+    p = as_matrix(dims, points)
+    w = as_matrix(dims, dominators)
+    mask = dominated_mask(p, w)
+    witness = dominator_index(p, w)
+    for i, point in enumerate(points):
+        expected = any(dominates(d, point) for d in dominators)
+        assert mask[i] == expected
+        assert (witness[i] >= 0) == expected
+        if expected:
+            assert dominates(dominators[witness[i]], point)
+
+
+@given(st.integers(2, 4).flatmap(lambda d: mixed_points(d, max_size=40)))
+@settings(max_examples=60, deadline=None)
+def test_duplicates_are_all_skyline_members(case):
+    # Duplicating every row must not evict anyone: coincident points
+    # never dominate each other (Section 2.2).
+    dims, points = case
+    doubled = points + points
+    mask = pareto_mask(as_matrix(dims, doubled))
+    half = len(points)
+    assert (mask[:half] == mask[half:]).all()
+    expected = naive_skyline(list(enumerate(doubled)))
+    assert set(np.nonzero(mask)[0]) == set(expected)
+
+
+def test_empty_and_single_point_edges():
+    empty = np.zeros((0, 3))
+    assert pareto_mask(empty).shape == (0,)
+    assert dominated_mask(empty, np.ones((2, 3))).shape == (0,)
+    assert dominated_mask(np.ones((2, 3)), empty).tolist() == [False, False]
+    assert dominator_index(np.ones((2, 3)), empty).tolist() == [-1, -1]
+    one = np.asarray([[0.5, 0.5]])
+    assert pareto_mask(one).tolist() == [True]
+
+
+# ---------------------------------------------------------------------------
+# Incremental mask repair vs recompute-from-scratch
+# ---------------------------------------------------------------------------
+
+
+class _Ctx:
+    """Minimal stand-in for EngineContext (maintenance only reads
+    ``objects`` and ``mem``)."""
+
+    def __init__(self, objects):
+        from repro.storage.stats import MemoryTracker
+
+        self.objects = objects
+        self.mem = MemoryTracker()
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_incremental_removal_matches_recompute(seed):
+    functions, objects = random_instance(4, 120, 3, seed=seed, tie_heavy=seed % 2 == 0)
+    maintenance = VectorizedSkylineMaintenance(
+        _Ctx(objects), ColumnarInstance(functions, objects)
+    )
+    skyline = maintenance.compute_initial()
+    alive = dict(enumerate(objects.points))
+    assert skyline == naive_skyline(list(alive.items()))
+    rng = np.random.default_rng(seed)
+    while len(skyline) > 1:
+        members = sorted(skyline)
+        take = int(rng.integers(1, min(3, len(members)) + 1))
+        removed = list(rng.choice(members, size=take, replace=False))
+        skyline = maintenance.remove([int(o) for o in removed])
+        for oid in removed:
+            del alive[int(oid)]
+        assert skyline == naive_skyline(list(alive.items()))
+
+
+def test_remove_nonmember_raises():
+    functions, objects = random_instance(3, 20, 2, seed=9)
+    maintenance = VectorizedSkylineMaintenance(
+        _Ctx(objects), ColumnarInstance(functions, objects)
+    )
+    with pytest.raises(RuntimeError):
+        maintenance.remove([0])  # before compute_initial
+    skyline = maintenance.compute_initial()
+    non_member = next(i for i in range(len(objects)) if i not in skyline)
+    with pytest.raises(KeyError):
+        maintenance.remove([non_member])
+
+
+# ---------------------------------------------------------------------------
+# Bit-identity: vectorized configs vs their interpreted twins
+# ---------------------------------------------------------------------------
+
+TWINS = [("sb", "sb-vec"), ("sb-deltasky", "sb-deltasky-vec")]
+
+FAMILIES = [
+    dict(),
+    dict(tie_heavy=True),
+    dict(capacities=True),
+    dict(priorities=True),
+    dict(capacities=True, priorities=True, tie_heavy=True),
+]
+
+
+def run_signature(functions, objects, method):
+    result = solve(
+        functions, build_object_index(objects, page_size=512), method=method
+    )
+    return (
+        [(p.fid, p.oid, p.score, p.count) for p in result.matching.pairs],
+        result.stats.loops,
+    )
+
+
+@pytest.mark.parametrize("scalar,vectorized", TWINS)
+@pytest.mark.parametrize("family", range(len(FAMILIES)))
+def test_vectorized_twin_is_pair_identical(scalar, vectorized, family):
+    functions, objects = random_instance(
+        11, 40, 3, seed=family * 7 + 1, **FAMILIES[family]
+    )
+    assert run_signature(functions, objects, scalar) == run_signature(
+        functions, objects, vectorized
+    ), f"{vectorized} diverged from {scalar}"
+
+
+@pytest.mark.parametrize("scalar,vectorized", TWINS)
+def test_vectorized_twin_identity_sweep(scalar, vectorized):
+    for seed in range(8):
+        functions, objects = random_instance(
+            5 + seed, 10 + 5 * seed, 2 + seed % 4, seed=100 + seed,
+            capacities=seed % 2 == 0, tie_heavy=seed % 3 == 0,
+        )
+        assert run_signature(functions, objects, scalar) == run_signature(
+            functions, objects, vectorized
+        ), f"{vectorized} diverged from {scalar} at seed {100 + seed}"
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+def test_vectorized_twins_identical_through_batch_solver(executor):
+    functions, objects = random_instance(9, 35, 3, seed=55, capacities=True)
+    with BatchSolver(executor=executor, max_workers=2) as solver:
+        for scalar, vectorized in TWINS:
+            jobs = [
+                SolveJob(functions=functions, objects=objects, method=m)
+                for m in (scalar, vectorized)
+            ]
+            got_scalar, got_vec = solver.solve_many(jobs)
+            assert [
+                (p.fid, p.oid, p.score, p.count)
+                for p in got_scalar.result.matching.pairs
+            ] == [
+                (p.fid, p.oid, p.score, p.count)
+                for p in got_vec.result.matching.pairs
+            ], (executor, vectorized)
+
+
+# ---------------------------------------------------------------------------
+# Stability certificates
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("method", ["sb-vec", "sb-deltasky-vec"])
+@pytest.mark.parametrize("family", range(len(FAMILIES)))
+def test_vectorized_solutions_certify_stable(method, family):
+    functions, objects = random_instance(
+        8, 30, 3, seed=family * 13 + 3, **FAMILIES[family]
+    )
+    problem = Problem.from_sets(objects, functions, method=method)
+    with AssignmentSession(problem) as session:
+        session.solve().verify()  # raises on any blocking pair

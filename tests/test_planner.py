@@ -39,6 +39,7 @@ class TestRegistry:
         plannable = {s.name for s in REGISTRY.plannable()}
         assert plannable == {
             "sb", "sb-update", "sb-deltasky", "sb-two-skylines", "chain",
+            "sb-vec", "sb-deltasky-vec",
         }
         assert "sb-alt" not in plannable  # memory-resident object tree
         assert "brute-force" not in plannable  # quadratic baseline
@@ -46,6 +47,65 @@ class TestRegistry:
     def test_every_plannable_config_is_calibrated(self):
         for spec in REGISTRY.plannable():
             assert spec.cost_key in CALIBRATION, spec.name
+
+    def test_calibration_table_round_trips_through_the_fitter(self):
+        """The ``--calibrate`` printer emits a table covering every
+        plannable spec that parses back into the checked-in shape."""
+        import contextlib
+        import io
+        import sys
+        from pathlib import Path
+
+        sys.path.insert(
+            0, str(Path(__file__).resolve().parent.parent / "benchmarks")
+        )
+        try:
+            from bench_planner import print_calibration
+        finally:
+            sys.path.pop(0)
+
+        fs, os_ = random_instance(6, 40, 3, seed=77)
+        profile = profile_instance(fs, os_)
+        # Synthetic measured rows: enough shape variation for the fit.
+        rows = []
+        shapes = [
+            (10, 100), (10, 1000), (30, 300), (30, 3000),
+            (100, 1000), (100, 10000), (300, 3000), (300, 30000),
+        ]
+        for i, (nf, no) in enumerate(shapes):
+            fake = InstanceProfile.from_dict(
+                {**profile.to_dict(), "num_functions": nf, "num_objects": no}
+            )
+            rows.append({
+                "profile": fake.to_dict(),
+                "timings": {
+                    s.name: 1e-4 * nf * no * (1 + 0.1 * j)
+                    for j, s in enumerate(REGISTRY.plannable())
+                },
+            })
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            print_calibration(rows)
+        printed = buf.getvalue()
+        # The printed table must execute and cover every plannable spec
+        # with full-width coefficient rows (the calibration.py shape).
+        namespace: dict = {}
+        exec(printed.split("# Paste into")[1].split(":\n", 1)[1], namespace)
+        table = namespace["CALIBRATION"]
+        assert isinstance(namespace["CALIBRATION_VERSION"], str)
+        for spec in REGISTRY.plannable():
+            assert spec.cost_key in table, spec.name
+            assert len(table[spec.cost_key]) == len(CALIBRATION["sb"])
+
+    def test_auto_picks_a_vectorized_config_on_a_grid_shape(self):
+        """The recalibrated table must route at least the default
+        Table 2 cell (anti-correlated 100x2000, dims=4) to a columnar
+        config — the point of registering the kernels as plannable."""
+        from repro.bench.harness import make_instance
+
+        fs, os_ = make_instance(100, 2000, 4, "anti-correlated", seed=17)
+        plan = plan_instance(fs, os_)
+        assert plan.method in {"sb-vec", "sb-deltasky-vec"}
 
     def test_unknown_method_lists_auto(self):
         with pytest.raises(UnknownSolverError) as exc:
