@@ -16,11 +16,21 @@ roughly min(N, workers)× the fresh-solve throughput.  ``cpu_count``
 is recorded with every snapshot so single-core numbers read as what
 they are.
 
+``--backends N`` (N >= 1) benchmarks the *cluster* path instead: N
+embedded backends behind a ``repro-gateway``, replaying the same
+workload through the gateway.  Sticky consistent-hash routing sends
+each catalogue to one backend, so the cluster workload spreads over
+``--catalogues`` distinct catalogues (default 2×N) — a single-catalogue
+stream would hash entirely to one node and measure nothing but
+forwarding overhead.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_server_throughput.py --label pr3_server
     PYTHONPATH=src python benchmarks/bench_server_throughput.py \
         --label pr4_thread_vs_process --executor both
+    PYTHONPATH=src python benchmarks/bench_server_throughput.py \
+        --label pr7_cluster --backends 2
 """
 
 from __future__ import annotations
@@ -34,6 +44,7 @@ import threading
 import time
 from pathlib import Path
 
+from repro.cluster import GatewayConfig, serve_gateway_in_thread
 from repro.data.generators import make_objects, request_stream
 from repro.server import Client, ServerConfig, serve_in_thread
 
@@ -128,12 +139,131 @@ def run_benchmark(
     }
 
 
+def run_cluster_benchmark(
+    requests: int,
+    clients: int,
+    n_objects: int,
+    dims: int,
+    max_cohort: int,
+    seed: int,
+    backends: int,
+    catalogues: int,
+    executor: str = "thread",
+    workers: int | None = None,
+) -> dict:
+    catalogue_sets = [
+        make_objects(n_objects, dims, "anti-correlated", seed=seed + i)
+        for i in range(catalogues)
+    ]
+    workload = list(
+        request_stream(
+            requests,
+            catalogue_sets,
+            cohort_skew=1.5,
+            max_cohort=max_cohort,
+            seed=seed,
+        )
+    )
+    handles = [
+        serve_in_thread(
+            ServerConfig(
+                port=0,
+                queue_limit=max(64, requests),
+                solution_cache_size=0,  # measure solves, not cache replays
+                executor=executor,
+                workers=workers,
+            )
+        )
+        for _ in range(backends)
+    ]
+    gateway = serve_gateway_in_thread(
+        GatewayConfig(
+            backends=tuple(f"127.0.0.1:{h.port}" for h in handles),
+            port=0,
+        )
+    )
+    latencies: list[float] = []
+    latency_guard = threading.Lock()
+
+    def worker(worker_id: int) -> None:
+        with Client(gateway.base_url) as client:
+            for request in workload[worker_id::clients]:
+                from repro.api import Problem
+
+                problem = Problem.from_sets(
+                    request.catalogue, request.functions, method="sb"
+                )
+                started = time.perf_counter()
+                job_id = client.submit(problem, timeout=120.0)
+                client.result(job_id, timeout=300.0)
+                with latency_guard:
+                    latencies.append(time.perf_counter() - started)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,), name=f"bench-client-{i}")
+        for i in range(clients)
+    ]
+    wall_start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - wall_start
+
+    with Client(gateway.base_url) as client:
+        metrics = client.metrics()
+    gateway.close()
+    for handle in handles:
+        handle.close()
+
+    assert len(latencies) == requests
+    return {
+        "mode": "cluster",
+        "requests": requests,
+        "clients": clients,
+        "n_objects": n_objects,
+        "dims": dims,
+        "max_cohort": max_cohort,
+        "backends": backends,
+        "catalogues": catalogues,
+        "executor": executor,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "wall_seconds": wall,
+        "requests_per_second": requests / wall,
+        "latency_p50_seconds": percentile(latencies, 0.50),
+        "latency_p99_seconds": percentile(latencies, 0.99),
+        "latency_mean_seconds": statistics.fmean(latencies),
+        "forwards_total": metrics["gateway"]["forwards_total"],
+        "reshards_total": metrics["gateway"]["reshards_total"],
+        "forwards_by_backend": {
+            address: snapshot["forwards"]
+            for address, snapshot in metrics["backends"].items()
+        },
+        "fleet_solves": metrics["fleet"]["solves"],
+        "fleet_index_cache": metrics["fleet"]["index_cache"],
+    }
+
+
 def _describe(snapshot: dict) -> str:
     return (
         f"{snapshot['requests_per_second']:.1f} req/s, "
         f"p50 {snapshot['latency_p50_seconds'] * 1e3:.1f} ms, "
         f"p99 {snapshot['latency_p99_seconds'] * 1e3:.1f} ms "
         f"({snapshot['index_cache']['misses']} index build(s))"
+    )
+
+
+def _describe_cluster(snapshot: dict) -> str:
+    spread = ", ".join(
+        str(count) for count in snapshot["forwards_by_backend"].values()
+    )
+    return (
+        f"{snapshot['requests_per_second']:.1f} req/s via gateway over "
+        f"{snapshot['backends']} backends, "
+        f"p50 {snapshot['latency_p50_seconds'] * 1e3:.1f} ms, "
+        f"p99 {snapshot['latency_p99_seconds'] * 1e3:.1f} ms "
+        f"(forwards per backend: {spread})"
     )
 
 
@@ -154,6 +284,20 @@ def main() -> None:
         "--workers", type=int, default=None,
         help="solver pool size (threads or worker processes)",
     )
+    parser.add_argument(
+        "--backends", type=int, default=0,
+        help=(
+            "benchmark the cluster path: N embedded repro-servers "
+            "behind a repro-gateway (0 = single-server mode)"
+        ),
+    )
+    parser.add_argument(
+        "--catalogues", type=int, default=None,
+        help=(
+            "distinct catalogues in the cluster workload "
+            "(default 2x backends; sticky routing shards by catalogue)"
+        ),
+    )
     args = parser.parse_args()
 
     def bench(executor: str) -> dict:
@@ -165,7 +309,20 @@ def main() -> None:
         snapshot["python"] = platform.python_version()
         return snapshot
 
-    if args.executor == "both":
+    if args.backends >= 1:
+        if args.executor == "both":
+            parser.error("--backends combines with one executor, not 'both'")
+        snapshot = run_cluster_benchmark(
+            args.requests, args.clients, args.objects, args.dims,
+            args.max_cohort, args.seed,
+            backends=args.backends,
+            catalogues=args.catalogues or 2 * args.backends,
+            executor=args.executor,
+            workers=args.workers,
+        )
+        snapshot["python"] = platform.python_version()
+        report = _describe_cluster(snapshot)
+    elif args.executor == "both":
         thread_snapshot = bench("thread")
         process_snapshot = bench("process")
         snapshot = {

@@ -1,0 +1,112 @@
+"""Console entry point: ``python -m repro.cluster`` / ``repro-gateway``.
+
+Announces the bound address on stdout once the socket is listening —
+``--port 0`` picks an ephemeral port, so supervisors (and the CI
+cluster-smoke job) parse the announcement line rather than guessing.
+Backends are given with repeated ``--backend host:port`` flags (or one
+comma-separated ``--backends`` list).
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+
+from repro.cluster.app import GatewayConfig, ReproGateway
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gateway",
+        description=(
+            "Shard fair-assignment solves over a fleet of repro-server "
+            "backends via a deterministic consistent-hash ring."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8100,
+        help="TCP port; 0 binds an ephemeral port (announced on stdout)",
+    )
+    parser.add_argument(
+        "--backend", action="append", default=[], metavar="HOST:PORT",
+        help="one backend repro-server (repeat for each fleet member)",
+    )
+    parser.add_argument(
+        "--backends", default=None, metavar="HOST:PORT,HOST:PORT,...",
+        help="comma-separated backend list (alternative to --backend)",
+    )
+    parser.add_argument(
+        "--vnodes", type=int, default=256,
+        help="virtual nodes per backend on the hash ring",
+    )
+    parser.add_argument(
+        "--probe-interval", type=float, default=2.0,
+        help="seconds between background /healthz sweeps",
+    )
+    parser.add_argument(
+        "--probe-timeout", type=float, default=2.0,
+        help="per-probe HTTP timeout (seconds)",
+    )
+    parser.add_argument(
+        "--down-after", type=int, default=2,
+        help="consecutive probe failures before a backend is marked down",
+    )
+    parser.add_argument(
+        "--forward-timeout", type=float, default=120.0,
+        help="per-forward HTTP timeout (covers backend solve time)",
+    )
+    parser.add_argument(
+        "--retry-after", type=float, default=1.0,
+        help="Retry-After hint (seconds) on 503 responses",
+    )
+    parser.add_argument(
+        "--log-level", default="INFO",
+        choices=["DEBUG", "INFO", "WARNING", "ERROR"],
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> None:
+    args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=getattr(logging, args.log_level),
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    addresses = list(args.backend)
+    if args.backends:
+        addresses.extend(
+            part.strip() for part in args.backends.split(",") if part.strip()
+        )
+    if not addresses:
+        build_parser().error(
+            "at least one backend is required (--backend HOST:PORT)"
+        )
+    config = GatewayConfig(
+        backends=tuple(addresses),
+        host=args.host,
+        port=args.port,
+        vnodes=args.vnodes,
+        probe_interval_seconds=args.probe_interval,
+        probe_timeout_seconds=args.probe_timeout,
+        down_after=args.down_after,
+        forward_timeout_seconds=args.forward_timeout,
+        retry_after_seconds=args.retry_after,
+    )
+    gateway = ReproGateway(config)
+
+    def announce(started: ReproGateway) -> None:
+        print(
+            f"repro-gateway listening on http://{config.host}:{started.port} "
+            f"({len(config.backends)} backends)",
+            flush=True,
+        )
+
+    try:
+        gateway.serve_forever(on_started=announce)
+    except KeyboardInterrupt:
+        pass
+
+
+if __name__ == "__main__":
+    main()

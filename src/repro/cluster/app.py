@@ -1,0 +1,742 @@
+"""The asyncio gateway: consistent-hash routing over a server fleet.
+
+``repro-gateway`` fronts N ``repro-server`` backends and speaks the
+*same* JSON-over-HTTP protocol, so any :class:`~repro.server.Client`
+pointed at the gateway works unchanged.  Three concerns live here, on
+top of the :class:`~repro.cluster.forwarder.Fleet`:
+
+- **sticky sharding** — every request is keyed by the problem's
+  ``instance_digest`` and forwarded to that key's ring owner, so each
+  catalogue's R-tree index is built on exactly one node and stays hot
+  (method/option overrides share the shard: the digest excludes the
+  solver section).  Job ids come back prefixed ``{node_id}@{job_id}``,
+  so polls route by prefix without any gateway-side job state.
+- **failover** — dead backends are skipped via the ring's successor
+  list (request-path transport failures mark down immediately; the
+  background prober also sweeps ``/healthz``).  The gateway remembers
+  registration payloads in a bounded LRU, so when a solve re-shards to
+  a successor that has never seen the problem (404), it re-registers
+  and retries once — clients ride through a backend death without
+  re-sending anything.  A shard with no live replica answers 503 +
+  ``Retry-After``.
+- **fleet observability** — ``/metrics`` reports per-backend health
+  and forward-latency histograms, re-shard/retry counters, and a
+  fleet-wide aggregation (summed solve/cache/planner/engine counters
+  across live backends); ``/healthz`` reports ring membership.
+
+The gateway keeps no solver, no session and no cache of its own —
+results, admission control (429s propagate untouched) and planner
+decisions all belong to the backends, which plan deterministically, so
+any replica of a shard returns the bit-identical solution.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import logging
+import threading
+import time
+from collections import Counter, OrderedDict
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+from repro.api.problem import Problem
+from repro.api.solution import Solution
+from repro.cluster.forwarder import Fleet
+from repro.cluster.probe import Backend, HealthProber
+from repro.errors import (
+    InvalidProblemError,
+    InvalidSolverOptionError,
+    SerdeError,
+    ServerBusyError,
+    ServerError,
+    ServerUnavailableError,
+    UnknownSolverError,
+)
+from repro.server.http import (
+    MAX_BODY_BYTES,
+    ProtocolError,
+    Request,
+    Response,
+    read_request,
+)
+from repro.server.metrics import LatencyHistogram
+from repro.server.router import Router
+
+log = logging.getLogger("repro.cluster")
+
+_BAD_REQUEST_ERRORS = (
+    SerdeError,
+    InvalidProblemError,
+    UnknownSolverError,
+    InvalidSolverOptionError,
+)
+
+#: Backend /metrics sections the fleet aggregation sums, leaf by leaf.
+#: Quantiles, high-water marks and per-method histograms are *not*
+#: summable and stay per-backend (see the ``backends`` section).
+_SUMMED_SECTIONS: dict[str, tuple[str, ...]] = {
+    "solves": ("total", "cache_hits"),
+    "solution_cache": ("hits", "misses", "evictions", "entries"),
+    "index_cache": ("hits", "misses", "entries"),
+    "queue": (
+        "depth",
+        "limit",
+        "rejected_total",
+        "jobs_submitted",
+        "jobs_completed",
+        "jobs_failed",
+    ),
+    "engine": (
+        "physical_reads",
+        "logical_reads",
+        "physical_writes",
+        "cpu_seconds",
+    ),
+}
+
+
+class _NotFound(Exception):
+    """Internal: the gateway has no routing entry for this id (→ 404)."""
+
+
+@dataclass(frozen=True)
+class GatewayConfig:
+    """Tunables of one :class:`ReproGateway`."""
+
+    #: Backend authorities (``host:port``), one per ``repro-server``.
+    backends: tuple[str, ...] = ()
+    host: str = "127.0.0.1"
+    #: TCP port; ``0`` binds an ephemeral port.
+    port: int = 8100
+    #: Virtual nodes per backend on the hash ring.
+    vnodes: int = 256
+    #: Seconds between background ``/healthz`` sweeps.
+    probe_interval_seconds: float = 2.0
+    #: Per-probe HTTP timeout.
+    probe_timeout_seconds: float = 2.0
+    #: Consecutive probe failures before a backend is marked down
+    #: (request-path transport failures mark down immediately).
+    down_after: int = 2
+    #: Per-forward HTTP timeout (covers the backend's solve time).
+    forward_timeout_seconds: float = 120.0
+    #: ``Retry-After`` hint on 503 responses (no live shard owner).
+    retry_after_seconds: float = 1.0
+    #: Per-request read deadline on gateway connections.
+    read_timeout_seconds: float | None = 30.0
+    max_body_bytes: int = MAX_BODY_BYTES
+    #: LRU bound on remembered registration payloads (the failover
+    #: re-registration store; an evicted problem simply 404s and the
+    #: client re-registers, exactly as against a bare server).
+    problem_registry_size: int = 4096
+
+    @staticmethod
+    def normalize_address(address: str) -> str:
+        """``http://host:port/`` / ``host:port`` → ``host:port``."""
+        if address.startswith("http://"):
+            address = address[len("http://") :]
+        return address.rstrip("/")
+
+
+class GatewayMetrics:
+    """Gateway-local counters (all touched from the event loop only)."""
+
+    def __init__(self) -> None:
+        self.started = time.time()
+        self.requests_total = 0
+        self.responses_by_status: Counter[int] = Counter()
+        #: End-to-end forward latency per backend address.
+        self.forward_latency: dict[str, LatencyHistogram] = {}
+
+    def record_response(self, status: int) -> None:
+        self.requests_total += 1
+        self.responses_by_status[status] += 1
+
+    def record_forward(self, address: str, seconds: float) -> None:
+        histogram = self.forward_latency.get(address)
+        if histogram is None:
+            histogram = self.forward_latency[address] = LatencyHistogram()
+        histogram.observe(seconds)
+
+
+class ReproGateway:
+    """The gateway facade; see the module docstring for the shape."""
+
+    def __init__(self, config: GatewayConfig):
+        addresses = tuple(
+            GatewayConfig.normalize_address(a) for a in config.backends
+        )
+        self.config = config
+        self.port: int | None = None
+        self._fleet = Fleet(
+            addresses,
+            vnodes=config.vnodes,
+            forward_timeout=config.forward_timeout_seconds,
+            probe_timeout=config.probe_timeout_seconds,
+            down_after=config.down_after,
+            retry_after_seconds=config.retry_after_seconds,
+        )
+        self._prober = HealthProber(
+            list(self._fleet.backends.values()),
+            interval=config.probe_interval_seconds,
+        )
+        self._metrics = GatewayMetrics()
+        #: pid → {"instance_digest", "payload"} — the routing map plus
+        #: the failover re-registration store, LRU-bounded.
+        self._problems: OrderedDict[str, dict] = OrderedDict()
+        self._conn_tasks: set[asyncio.Task] = set()
+        self._tcp: asyncio.Server | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._router = self._build_router()
+
+    # -- routing table -------------------------------------------------
+
+    def _build_router(self) -> Router:
+        router = Router()
+        router.add("GET", "/healthz", self._health)
+        router.add("GET", "/metrics", self._metrics_endpoint)
+        router.add("POST", "/v1/problems", self._register_endpoint)
+        router.add("GET", "/v1/problems/{pid}", self._get_problem)
+        router.add("POST", "/v1/problems/{pid}/solve", self._solve_registered)
+        router.add("POST", "/v1/solve", self._solve_inline)
+        router.add("POST", "/v1/jobs", self._submit_job)
+        router.add("GET", "/v1/jobs/{jid}", self._get_job)
+        router.add("GET", "/v1/jobs/{jid}/solution", self._get_job_solution)
+        router.add("GET", "/v1/diff", self._diff_jobs)
+        return router
+
+    # -- problem routing state -----------------------------------------
+
+    def _remember(self, problem: Problem, payload: dict) -> str:
+        pid = problem.digest()
+        self._problems[pid] = {
+            "instance_digest": problem.instance_digest(),
+            "payload": payload,
+        }
+        self._problems.move_to_end(pid)
+        while len(self._problems) > self.config.problem_registry_size:
+            self._problems.popitem(last=False)
+        return pid
+
+    def _routing_entry(self, pid: str) -> dict:
+        entry = self._problems.get(pid)
+        if entry is None:
+            raise _NotFound(
+                f"unknown problem {pid!r} — register it through the "
+                "gateway first (routing needs its instance digest)"
+            )
+        self._problems.move_to_end(pid)
+        return entry
+
+    # -- forwarding plumbing -------------------------------------------
+
+    async def _forward(self, key: str, fn):
+        """Fleet.forward on a worker thread + latency accounting."""
+        started = time.perf_counter()
+        backend, result = await asyncio.to_thread(self._fleet.forward, key, fn)
+        self._metrics.record_forward(
+            backend.address, time.perf_counter() - started
+        )
+        return backend, result
+
+    async def _call(self, backend: Backend, fn):
+        """Fleet.call (single-backend, job polls) on a worker thread."""
+        started = time.perf_counter()
+        result = await asyncio.to_thread(self._fleet.call, backend, fn)
+        self._metrics.record_forward(
+            backend.address, time.perf_counter() - started
+        )
+        return result
+
+    def _reregistering(self, path: str, body, entry: dict | None):
+        """A forward fn for ``POST path`` that heals a post-failover
+        404 by re-registering the remembered payload and retrying once
+        on the same backend."""
+
+        def fn(backend: Backend):
+            try:
+                return backend.client.request("POST", path, body)
+            except ServerError as exc:
+                if exc.status == 404 and entry is not None:
+                    backend.client.request(
+                        "POST", "/v1/problems", entry["payload"]
+                    )
+                    self._fleet.count_reregistration()
+                    return backend.client.request("POST", path, body)
+                raise
+
+        return fn
+
+    @staticmethod
+    def _require_mapping(body) -> Mapping:
+        if not isinstance(body, Mapping):
+            raise SerdeError("request body must be a JSON object")
+        return body
+
+    async def _resolve_inline_target(self, body) -> tuple[str, dict | None, dict]:
+        """``(routing key, registry entry, body-to-forward)`` for a
+        ``/v1/solve`` or ``/v1/jobs`` payload carrying exactly one of
+        ``problem`` (inline, parsed off-loop for its digest) or
+        ``problem_id`` (resolved from the gateway's routing map)."""
+        body = self._require_mapping(body)
+        if ("problem" in body) == ("problem_id" in body):
+            raise SerdeError(
+                "request body needs exactly one of 'problem' or 'problem_id'"
+            )
+        if "problem" in body:
+            problem = await asyncio.to_thread(Problem.from_dict, body["problem"])
+            pid = self._remember(problem, problem.to_dict())
+            return problem.instance_digest(), self._problems[pid], dict(body)
+        pid = body["problem_id"]
+        if not isinstance(pid, str):
+            raise SerdeError("'problem_id' must be a string")
+        entry = self._routing_entry(pid)
+        return entry["instance_digest"], entry, dict(body)
+
+    # -- endpoint handlers ---------------------------------------------
+
+    async def _health(self, request: Request) -> Response:
+        import repro
+
+        alive = len(self._fleet.alive_backends())
+        configured = len(self._fleet.backends)
+        status = "ok" if alive == configured else ("degraded" if alive else "down")
+        return Response.json(
+            {
+                "status": status,
+                "role": "gateway",
+                "version": repro.__version__,
+                "uptime_seconds": time.time() - self._metrics.started,
+                "backends": {
+                    backend.address: backend.snapshot()
+                    for backend in self._fleet.backends.values()
+                },
+                "ring": {
+                    "members": sorted(self._fleet.ring.members),
+                    "vnodes_per_backend": self._fleet.ring.vnodes,
+                    "alive": alive,
+                    "configured": configured,
+                },
+                "problems_routed": len(self._problems),
+            }
+        )
+
+    async def _metrics_endpoint(self, request: Request) -> Response:
+        fleet_totals, unreachable = await self._aggregate_fleet_metrics()
+        return Response.json(
+            {
+                "uptime_seconds": time.time() - self._metrics.started,
+                "http": {
+                    "requests_total": self._metrics.requests_total,
+                    "responses_by_status": {
+                        str(status): n
+                        for status, n in sorted(
+                            self._metrics.responses_by_status.items()
+                        )
+                    },
+                },
+                "gateway": {
+                    **self._fleet.info(),
+                    "probe_cycles": self._prober.cycles,
+                    "probe_interval_seconds": self._prober.interval,
+                },
+                "backends": {
+                    backend.address: backend.snapshot()
+                    for backend in self._fleet.backends.values()
+                },
+                "forward_latency": {
+                    address: histogram.to_dict()
+                    for address, histogram in sorted(
+                        self._metrics.forward_latency.items()
+                    )
+                },
+                "fleet": {**fleet_totals, "unreachable": unreachable},
+            }
+        )
+
+    async def _aggregate_fleet_metrics(self) -> tuple[dict, list[str]]:
+        """Summed counters across every live backend's ``/metrics``."""
+        backends = self._fleet.alive_backends()
+
+        def fetch(backend: Backend):
+            try:
+                return backend.address, backend.probe_client.metrics()
+            except Exception:
+                return backend.address, None
+
+        snapshots = await asyncio.gather(
+            *(asyncio.to_thread(fetch, backend) for backend in backends)
+        )
+        totals: dict = {
+            section: dict.fromkeys(keys, 0)
+            for section, keys in _SUMMED_SECTIONS.items()
+        }
+        planner_picks: Counter[str] = Counter()
+        requests_total = 0
+        reporting, unreachable = 0, []
+        for address, snapshot in snapshots:
+            if snapshot is None:
+                unreachable.append(address)
+                continue
+            reporting += 1
+            for section, keys in _SUMMED_SECTIONS.items():
+                values = snapshot.get(section, {})
+                for key in keys:
+                    value = values.get(key)
+                    if isinstance(value, (int, float)):
+                        totals[section][key] += value
+            planner = snapshot.get("planner", {})
+            planner_picks.update(planner.get("picks", {}))
+            http_section = snapshot.get("http", {})
+            requests_total += http_section.get("requests_total", 0)
+        totals["planner"] = {
+            "picks": dict(sorted(planner_picks.items())),
+            "auto_solves": sum(planner_picks.values()),
+        }
+        totals["http"] = {"requests_total": requests_total}
+        totals["backends_reporting"] = reporting
+        return totals, unreachable
+
+    async def _register_endpoint(self, request: Request) -> Response:
+        payload = request.json()
+        if payload is None:
+            raise SerdeError("problem registration needs a JSON body")
+        problem = await asyncio.to_thread(Problem.from_dict, payload)
+        pid = self._remember(problem, problem.to_dict())
+        entry = self._problems[pid]
+        backend, (status, body) = await self._forward(
+            entry["instance_digest"],
+            lambda b: b.client.request("POST", "/v1/problems", entry["payload"]),
+        )
+        body["backend"] = backend.address
+        return Response.json(body, status=status)
+
+    async def _get_problem(self, request: Request, pid: str) -> Response:
+        entry = self._routing_entry(pid)
+        _, (status, body) = await self._forward(
+            entry["instance_digest"],
+            self._reregistering_get(f"/v1/problems/{pid}", entry),
+        )
+        return Response.json(body, status=status)
+
+    def _reregistering_get(self, path: str, entry: dict | None):
+        def fn(backend: Backend):
+            try:
+                return backend.client.request("GET", path)
+            except ServerError as exc:
+                if exc.status == 404 and entry is not None:
+                    backend.client.request(
+                        "POST", "/v1/problems", entry["payload"]
+                    )
+                    self._fleet.count_reregistration()
+                    return backend.client.request("GET", path)
+                raise
+
+        return fn
+
+    async def _solve_registered(self, request: Request, pid: str) -> Response:
+        entry = self._routing_entry(pid)
+        overrides = self._require_mapping(request.json(default={}))
+        backend, (status, body) = await self._forward(
+            entry["instance_digest"],
+            self._reregistering(
+                f"/v1/problems/{pid}/solve", dict(overrides) or None, entry
+            ),
+        )
+        body["backend"] = backend.address
+        return Response.json(body, status=status)
+
+    async def _solve_inline(self, request: Request) -> Response:
+        key, entry, body = await self._resolve_inline_target(
+            request.json(default={})
+        )
+        backend, (status, payload) = await self._forward(
+            key, self._reregistering("/v1/solve", body, entry)
+        )
+        payload["backend"] = backend.address
+        return Response.json(payload, status=status)
+
+    async def _submit_job(self, request: Request) -> Response:
+        key, entry, body = await self._resolve_inline_target(
+            request.json(default={})
+        )
+        backend, (status, payload) = await self._forward(
+            key, self._reregistering("/v1/jobs", body, entry)
+        )
+        # Prefix the job id with the owning node, so later polls route
+        # by prefix alone — the gateway keeps no job table.
+        payload["job_id"] = f"{backend.node_id}@{payload['job_id']}"
+        payload["backend"] = backend.address
+        return Response.json(payload, status=status)
+
+    def _job_backend(self, jid: str) -> tuple[Backend, str]:
+        try:
+            return self._fleet.backend_for_job(jid)
+        except KeyError as exc:
+            raise _NotFound(str(exc)) from None
+
+    async def _get_job(self, request: Request, jid: str) -> Response:
+        backend, raw_id = self._job_backend(jid)
+        include = request.query.get("solution", "1") not in ("0", "false")
+        suffix = "" if include else "?solution=0"
+        status, body = await self._call(
+            backend,
+            lambda b: b.client.request("GET", f"/v1/jobs/{raw_id}{suffix}"),
+        )
+        if isinstance(body, dict) and "job_id" in body:
+            body["job_id"] = jid
+            body["backend"] = backend.address
+        return Response.json(body, status=status)
+
+    async def _get_job_solution(self, request: Request, jid: str) -> Response:
+        backend, raw_id = self._job_backend(jid)
+        status, body = await self._call(
+            backend,
+            lambda b: b.client.request("GET", f"/v1/jobs/{raw_id}/solution"),
+        )
+        return Response.json(body, status=status)
+
+    async def _diff_jobs(self, request: Request) -> Response:
+        try:
+            id_a, id_b = request.query["a"], request.query["b"]
+        except KeyError:
+            raise SerdeError(
+                "diff needs 'a' and 'b' query parameters (job ids)"
+            ) from None
+        backend_a, raw_a = self._job_backend(id_a)
+        backend_b, raw_b = self._job_backend(id_b)
+        if backend_a is backend_b:
+            # Same node: its own /v1/diff does the work.
+            status, body = await self._call(
+                backend_a,
+                lambda b: b.client.request(
+                    "GET", f"/v1/diff?a={raw_a}&b={raw_b}"
+                ),
+            )
+            body["a"], body["b"] = id_a, id_b
+            return Response.json(body, status=status)
+        # Jobs live on different nodes: fetch both solutions and diff
+        # here — the value objects make the delta a local computation.
+        payload_a, payload_b = await asyncio.gather(
+            self._call(
+                backend_a,
+                lambda b: b.client.request("GET", f"/v1/jobs/{raw_a}/solution"),
+            ),
+            self._call(
+                backend_b,
+                lambda b: b.client.request("GET", f"/v1/jobs/{raw_b}/solution"),
+            ),
+        )
+
+        def compute() -> dict:
+            solution_a = Solution.from_dict(payload_a[1])
+            solution_b = Solution.from_dict(payload_b[1])
+            diff = solution_a.diff(solution_b)
+            return {
+                "a": id_a,
+                "b": id_b,
+                "identical": not diff,
+                "units_changed": diff.units_changed,
+                "added": [list(t) for t in diff.added],
+                "removed": [list(t) for t in diff.removed],
+            }
+
+        return Response.json(await asyncio.to_thread(compute))
+
+    # -- connection handling -------------------------------------------
+
+    async def _dispatch(self, request: Request) -> Response:
+        routed = self._router.dispatch(request)
+        if isinstance(routed, Response):
+            response = routed
+        else:
+            handler, params = routed
+            try:
+                response = await handler(request, **params)
+            except ServerBusyError as exc:
+                # Backend admission control: propagate 429 untouched so
+                # the caller's Retry-After loop keeps working.
+                response = self._relay_error(exc, 429)
+                response.headers["Retry-After"] = f"{exc.retry_after:g}"
+            except ServerUnavailableError as exc:
+                response = self._relay_error(exc, 503)
+                response.headers["Retry-After"] = f"{exc.retry_after:g}"
+            except _BAD_REQUEST_ERRORS as exc:
+                response = Response.error(400, str(exc), type=type(exc).__name__)
+            except _NotFound as exc:
+                response = Response.error(404, str(exc))
+            except ServerError as exc:
+                # Any other backend HTTP error relays verbatim (502 if
+                # the backend failed without a usable status).
+                response = self._relay_error(exc, exc.status or 502)
+            except asyncio.CancelledError:
+                raise
+            except Exception:
+                log.exception(
+                    "unhandled error in %s %s", request.method, request.path
+                )
+                response = Response.error(500, "internal gateway error")
+        self._metrics.record_response(response.status)
+        return response
+
+    @staticmethod
+    def _relay_error(exc: ServerError, status: int) -> Response:
+        payload = exc.payload if isinstance(exc.payload, dict) else None
+        return Response.json(payload or {"error": str(exc)}, status=status)
+
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._conn_tasks.add(task)
+        try:
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        read_request(
+                            reader, max_body_bytes=self.config.max_body_bytes
+                        ),
+                        timeout=self.config.read_timeout_seconds,
+                    )
+                except TimeoutError:
+                    break  # stalled or idle peer: drop the connection
+                except ProtocolError as exc:
+                    response = Response.error(exc.status, str(exc))
+                    self._metrics.record_response(response.status)
+                    writer.write(response.encode(keep_alive=False))
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                response = await self._dispatch(request)
+                keep_alive = request.keep_alive
+                writer.write(response.encode(keep_alive=keep_alive))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, TimeoutError):
+            pass
+        finally:
+            if task is not None:
+                self._conn_tasks.discard(task)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket and start probing (call on the loop)."""
+        self._loop = asyncio.get_running_loop()
+        self._stop_event = asyncio.Event()
+        # Settle initial liveness before serving: a backend already
+        # dead at boot needs down_after consecutive failures to be
+        # marked down, so sweep that many times — it gets marked now,
+        # not on the first unlucky request.
+        for _ in range(self.config.down_after):
+            await asyncio.to_thread(self._prober.probe_all)
+        self._prober.start()
+        self._tcp = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._tcp.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._tcp is not None:
+            self._tcp.close()
+            await self._tcp.wait_closed()
+            self._tcp = None
+        for task in list(self._conn_tasks):
+            task.cancel()
+        await asyncio.gather(*self._conn_tasks, return_exceptions=True)
+        self._conn_tasks.clear()
+        await asyncio.to_thread(self._prober.close)
+        await asyncio.to_thread(self._fleet.close)
+
+    def request_stop(self) -> None:
+        """Thread-safe shutdown signal (used by :class:`GatewayHandle`)."""
+        loop, event = self._loop, self._stop_event
+        if loop is None or event is None or loop.is_closed():
+            return
+        loop.call_soon_threadsafe(event.set)
+
+    async def _serve_until_stopped(self, on_started=None) -> None:
+        await self.start()
+        if on_started is not None:
+            on_started(self)
+        assert self._stop_event is not None
+        try:
+            await self._stop_event.wait()
+        finally:
+            await self.stop()
+
+    def serve_forever(self, on_started=None) -> None:
+        """Run the gateway on a fresh event loop until stopped."""
+        asyncio.run(self._serve_until_stopped(on_started=on_started))
+
+
+class GatewayHandle:
+    """A gateway hosted on a background thread, for tests/benchmarks."""
+
+    def __init__(self, gateway: ReproGateway, thread: threading.Thread):
+        self.gateway = gateway
+        self.thread = thread
+
+    @property
+    def port(self) -> int:
+        assert self.gateway.port is not None
+        return self.gateway.port
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.gateway.config.host}:{self.port}"
+
+    def close(self, timeout: float = 15.0) -> None:
+        self.gateway.request_stop()
+        self.thread.join(timeout)
+        if self.thread.is_alive():
+            raise RuntimeError("repro-gateway thread did not stop in time")
+
+
+def serve_gateway_in_thread(config: GatewayConfig) -> GatewayHandle:
+    """Start a :class:`ReproGateway` on a daemon thread; returns once
+    the socket is bound (so :attr:`GatewayHandle.port` is valid)."""
+    gateway = ReproGateway(config)
+    started = threading.Event()
+    failures: list[BaseException] = []
+
+    def _run() -> None:
+        try:
+            gateway.serve_forever(on_started=lambda _g: started.set())
+        except BaseException as exc:  # surfaced to the caller below
+            failures.append(exc)
+            started.set()
+
+    thread = threading.Thread(target=_run, name="repro-gateway", daemon=True)
+    thread.start()
+    if not started.wait(timeout=30.0):
+        raise RuntimeError("repro-gateway did not start within 30s")
+    if failures:
+        raise RuntimeError("repro-gateway failed to start") from failures[0]
+    return GatewayHandle(gateway, thread)
+
+
+@contextlib.contextmanager
+def running_gateway(config: GatewayConfig):
+    """``with running_gateway(cfg) as handle:`` — thread-hosted gateway."""
+    handle = serve_gateway_in_thread(config)
+    try:
+        yield handle
+    finally:
+        handle.close()
+
+
+__all__ = [
+    "GatewayConfig",
+    "GatewayHandle",
+    "GatewayMetrics",
+    "ReproGateway",
+    "running_gateway",
+    "serve_gateway_in_thread",
+]

@@ -1,0 +1,112 @@
+"""Deterministic consistent-hash ring with virtual nodes.
+
+Shard routing for the gateway: ``instance_digest → backend address``.
+Every node is planted at ``vnodes`` pseudo-random points on a 64-bit
+ring (256 by default — enough that three nodes split 1k keys
+within ~10% of even), each point derived from SHA-256 of ``"{node}#{replica}"`` — no
+process-local salting (unlike builtin ``hash``), so every gateway
+process, today and after a restart, maps every key to the same owner.
+A key's owner is the first node point clockwise from the key's own
+hash; the nodes after it (in ring order, distinct) form the key's
+*successor list*, which is exactly the re-shard order when owners are
+down.
+
+The two properties the tests pin down:
+
+- **balance** — with enough virtual nodes the arc lengths even out,
+  so K keys over N nodes land within a few percent of K/N each;
+- **minimal movement** — removing a node hands only *its* arcs to the
+  respective successors: keys owned by surviving nodes do not move.
+  (The gateway never removes dead nodes from the ring — it skips them
+  via the successor list — so a recovered backend rejoins with its
+  ring positions, and therefore its key ownership, intact.)
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right, insort
+
+
+def ring_hash(data: str) -> int:
+    """Position of ``data`` on the 64-bit ring (SHA-256 prefix)."""
+    return int.from_bytes(
+        hashlib.sha256(data.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Consistent hashing over named nodes with virtual-node points."""
+
+    def __init__(self, nodes: tuple[str, ...] | list[str] = (), vnodes: int = 256):
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        #: Sorted ``(point, node)`` pairs — the ring itself.
+        self._points: list[tuple[int, str]] = []
+        self._members: set[str] = set()
+        for node in nodes:
+            self.add(node)
+
+    # -- membership ----------------------------------------------------
+
+    def add(self, node: str) -> None:
+        if node in self._members:
+            return
+        self._members.add(node)
+        for replica in range(self.vnodes):
+            insort(self._points, (ring_hash(f"{node}#{replica}"), node))
+
+    def remove(self, node: str) -> None:
+        if node not in self._members:
+            return
+        self._members.discard(node)
+        self._points = [entry for entry in self._points if entry[1] != node]
+
+    @property
+    def members(self) -> frozenset[str]:
+        return frozenset(self._members)
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._members
+
+    # -- lookup --------------------------------------------------------
+
+    def preference(self, key: str) -> list[str]:
+        """All members in ring order starting at ``key``'s position.
+
+        The head is the key's owner; the tail is the re-shard order if
+        the owner (and successive successors) are down.  Deterministic
+        for a given membership set, across processes and restarts.
+        """
+        if not self._points:
+            return []
+        start = bisect_right(self._points, (ring_hash(key), chr(0x10FFFF)))
+        ordered: list[str] = []
+        seen: set[str] = set()
+        count = len(self._points)
+        for offset in range(count):
+            node = self._points[(start + offset) % count][1]
+            if node not in seen:
+                seen.add(node)
+                ordered.append(node)
+                if len(seen) == len(self._members):
+                    break
+        return ordered
+
+    def owner(self, key: str, alive=None) -> str | None:
+        """The first member on ``key``'s successor list that ``alive``
+        admits (``alive`` is a container or predicate; ``None`` = all)."""
+        for node in self.preference(key):
+            if alive is None:
+                return node
+            admitted = alive(node) if callable(alive) else node in alive
+            if admitted:
+                return node
+        return None
+
+
+__all__ = ["HashRing", "ring_hash"]

@@ -115,6 +115,23 @@ class ServerBusyError(ServerError):
         super().__init__(message, status=429, payload=payload)
 
 
+class ServerUnavailableError(ServerError):
+    """The service cannot currently reach a solver for this request
+    (HTTP 503) — raised by the cluster gateway when a shard has no
+    live owner.  Transient by design: ``retry_after`` is the suggested
+    backoff in seconds, honoured by the client's polite-retry loop
+    exactly like a 429."""
+
+    def __init__(
+        self,
+        message: str,
+        retry_after: float = 1.0,
+        payload: object = None,
+    ):
+        self.retry_after = float(retry_after)
+        super().__init__(message, status=503, payload=payload)
+
+
 __all__ = [
     "FrozenInstanceError",
     "InvalidProblemError",
@@ -123,6 +140,7 @@ __all__ = [
     "SerdeError",
     "ServerBusyError",
     "ServerError",
+    "ServerUnavailableError",
     "SessionClosedError",
     "UnknownSolverError",
 ]

@@ -354,11 +354,21 @@ class ReproServer:
     # -- endpoint handlers ---------------------------------------------
 
     async def _health(self, request: Request) -> Response:
+        # Load-bearing beyond liveness: the cluster gateway's probes
+        # read queue_depth / jobs_inflight off this payload to make
+        # load-aware decisions, so it stays cheap (no solves, no
+        # backend round trips).  Existing keys are stable for compat.
+        import repro
+
         return Response.json(
             {
                 "status": "ok",
                 "problems": len(self._problems),
                 "executor": self.config.executor,
+                "version": repro.__version__,
+                "uptime_seconds": time.time() - self._metrics.started,
+                "queue_depth": self._admission.depth,
+                "jobs_inflight": self._jobs.inflight(),
             }
         )
 

@@ -1,14 +1,18 @@
 """Blocking HTTP client for :mod:`repro.server` — stdlib only.
 
-Speaks the server's JSON protocol over one keep-alive
-:class:`http.client.HTTPConnection` (reconnecting transparently when
-the peer drops it), translates error responses into the
-:class:`~repro.errors.ServerError` hierarchy, and re-hydrates wire
-payloads into the same :class:`Problem` / :class:`Solution` value
+Speaks the server's JSON protocol over keep-alive
+:class:`http.client.HTTPConnection` transports (reconnecting
+transparently when the peer drops one), translates error responses
+into the :class:`~repro.errors.ServerError` hierarchy, and re-hydrates
+wire payloads into the same :class:`Problem` / :class:`Solution` value
 objects the in-process API returns — a solution fetched over the wire
 is ``==`` to one solved locally.
 
-Not thread-safe: use one ``Client`` per thread (they are cheap).
+Thread-safe: each thread gets its own keep-alive connection (held in
+``threading.local`` storage), so one ``Client`` may be shared by any
+number of concurrent callers — the cluster gateway forwards every
+in-flight request for a backend through one shared ``Client``.  The
+problem cache that re-attaches fetched solutions is guarded by a lock.
 """
 
 from __future__ import annotations
@@ -16,11 +20,22 @@ from __future__ import annotations
 import dataclasses
 import http.client
 import json
+import threading
 import time
 
 from repro.api.problem import Problem
 from repro.api.solution import Solution
-from repro.errors import ServerBusyError, ServerError
+from repro.errors import ServerBusyError, ServerError, ServerUnavailableError
+
+#: Statuses whose ``Retry-After`` the polite-retry loop honours.
+_RETRYABLE = (ServerBusyError, ServerUnavailableError)
+
+
+def _retry_after_seconds(response) -> float:
+    try:
+        return float(response.headers.get("Retry-After", "1"))
+    except ValueError:
+        return 1.0
 
 
 class Client:
@@ -43,17 +58,52 @@ class Client:
         self.host = host
         self.port = port
         self.timeout = timeout
-        self._conn: http.client.HTTPConnection | None = None
+        # One keep-alive connection per calling thread: HTTPConnection
+        # is a single request/response state machine, so interleaved
+        # use from two threads corrupts the stream.  Thread-local
+        # storage gives every caller its own; ``_conns`` remembers
+        # them all so close() can drop every socket.
+        self._local = threading.local()
+        self._guard = threading.Lock()
+        self._conns: set[http.client.HTTPConnection] = set()
         # Problems this client has registered, for re-attaching to
         # solutions so ``.verify()`` works without another fetch.
         self._known: dict[str, Problem] = {}
 
     # -- transport -----------------------------------------------------
 
+    def _get_conn(self) -> http.client.HTTPConnection:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+            self._local.conn = conn
+        # (Re-)track on every use: a cross-thread close() untracks the
+        # connection, but HTTPConnection auto-reopens on the next
+        # request — it must come back under close()'s control.
+        with self._guard:
+            self._conns.add(conn)
+        return conn
+
+    def _drop_conn(self) -> None:
+        conn = getattr(self._local, "conn", None)
+        if conn is None:
+            return
+        self._local.conn = None
+        with self._guard:
+            self._conns.discard(conn)
+        conn.close()
+
     def close(self) -> None:
-        if self._conn is not None:
-            self._conn.close()
-            self._conn = None
+        """Close every connection this client has opened, across all
+        threads (safe to call while other threads are idle; a thread
+        mid-request simply reconnects on its next call)."""
+        with self._guard:
+            conns, self._conns = self._conns, set()
+        self._local.conn = None
+        for conn in conns:
+            conn.close()
 
     def __enter__(self) -> "Client":
         return self
@@ -61,20 +111,24 @@ class Client:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _request(self, method: str, path: str, payload=None):
+    def request(self, method: str, path: str, payload=None):
+        """One JSON round trip: ``(status, decoded body)``.
+
+        Raises the typed :class:`~repro.errors.ServerError` hierarchy
+        for non-success statuses (429 → :class:`ServerBusyError`,
+        503 → :class:`ServerUnavailableError`).  Reconnects once,
+        transparently, when a keep-alive connection went stale.
+        """
         body = None
         headers = {}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
         for attempt in (1, 2):
-            if self._conn is None:
-                self._conn = http.client.HTTPConnection(
-                    self.host, self.port, timeout=self.timeout
-                )
+            conn = self._get_conn()
             try:
-                self._conn.request(method, path, body=body, headers=headers)
-                response = self._conn.getresponse()
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
                 data = response.read()
                 break
             except (
@@ -86,11 +140,11 @@ class Client:
             ):
                 # A keep-alive connection the server has since closed;
                 # reconnect once, then let the failure surface.
-                self.close()
+                self._drop_conn()
                 if attempt == 2:
                     raise
         if response.will_close:
-            self.close()
+            self._drop_conn()
         decoded = None
         if data:
             try:
@@ -101,14 +155,15 @@ class Client:
                     status=response.status,
                 ) from exc
         if response.status == 429:
-            retry_after = response.headers.get("Retry-After", "1")
-            try:
-                delay = float(retry_after)
-            except ValueError:
-                delay = 1.0
             raise ServerBusyError(
                 (decoded or {}).get("error", "server busy"),
-                retry_after=delay,
+                retry_after=_retry_after_seconds(response),
+                payload=decoded,
+            )
+        if response.status == 503:
+            raise ServerUnavailableError(
+                (decoded or {}).get("error", "service unavailable"),
+                retry_after=_retry_after_seconds(response),
                 payload=decoded,
             )
         if response.status >= 400:
@@ -120,25 +175,31 @@ class Client:
             raise ServerError(message, status=response.status, payload=decoded)
         return response.status, decoded
 
+    # Historical private name; the protocol methods below and a few
+    # tests go through it.
+    _request = request
+
     # -- protocol ------------------------------------------------------
 
     def health(self) -> dict:
-        return self._request("GET", "/healthz")[1]
+        return self.request("GET", "/healthz")[1]
 
     def metrics(self) -> dict:
-        return self._request("GET", "/metrics")[1]
+        return self.request("GET", "/metrics")[1]
 
     def register(self, problem: Problem) -> str:
         """Register (or re-find) a problem; returns its server id."""
-        _, body = self._request("POST", "/v1/problems", problem.to_dict())
+        _, body = self.request("POST", "/v1/problems", problem.to_dict())
         problem_id = body["problem_id"]
-        self._known[problem_id] = problem
+        with self._guard:
+            self._known[problem_id] = problem
         return problem_id
 
     def problem(self, problem_id: str) -> Problem:
-        _, body = self._request("GET", f"/v1/problems/{problem_id}")
+        _, body = self.request("GET", f"/v1/problems/{problem_id}")
         problem = Problem.from_dict(body)
-        self._known[problem_id] = problem
+        with self._guard:
+            self._known[problem_id] = problem
         return problem
 
     def _target(self, problem: Problem | str) -> str:
@@ -159,7 +220,8 @@ class Client:
         are what the server reports it solved with; ``None`` = no
         check).  An overridden solve stays detached: attaching the
         base would misreport which options produced the result."""
-        base = self._known.get(problem_id)
+        with self._guard:
+            base = self._known.get(problem_id)
         if base is None:
             return solution
         if method is not None and method != base.method:
@@ -176,7 +238,8 @@ class Client:
         options: dict | None = None,
         timeout: float = 120.0,
     ) -> Solution:
-        """Synchronous solve; retries politely on 429 until ``timeout``."""
+        """Synchronous solve; retries politely on 429/503 until
+        ``timeout``."""
         problem_id = self._target(problem)
         overrides: dict = {}
         if method is not None:
@@ -184,7 +247,7 @@ class Client:
         if options is not None:
             overrides["options"] = options
         body = self._retry_busy(
-            lambda: self._request(
+            lambda: self.request(
                 "POST", f"/v1/problems/{problem_id}/solve", overrides or None
             ),
             timeout,
@@ -215,8 +278,9 @@ class Client:
             payload["method"] = method
         if options is not None:
             payload["options"] = options
+
         def request():
-            return self._request("POST", "/v1/jobs", payload)
+            return self.request("POST", "/v1/jobs", payload)
 
         if timeout is None:
             _, body = request()
@@ -226,7 +290,7 @@ class Client:
 
     def job(self, job_id: str, *, include_solution: bool = True) -> dict:
         suffix = "" if include_solution else "?solution=0"
-        return self._request("GET", f"/v1/jobs/{job_id}{suffix}")[1]
+        return self.request("GET", f"/v1/jobs/{job_id}{suffix}")[1]
 
     def result(
         self,
@@ -240,7 +304,7 @@ class Client:
         while True:
             status = self.job(job_id, include_solution=False)
             if status["status"] == "done":
-                _, payload = self._request("GET", f"/v1/jobs/{job_id}/solution")
+                _, payload = self.request("GET", f"/v1/jobs/{job_id}/solution")
                 solution = Solution.from_dict(payload)
                 return self._attach(
                     solution,
@@ -262,23 +326,23 @@ class Client:
 
     def diff(self, job_a: str, job_b: str) -> dict:
         """Unit-level delta between two completed jobs' solutions."""
-        return self._request("GET", f"/v1/diff?a={job_a}&b={job_b}")[1]
+        return self.request("GET", f"/v1/diff?a={job_a}&b={job_b}")[1]
 
     # ------------------------------------------------------------------
 
     @staticmethod
     def _retry_busy(request, timeout: float):
-        """Run ``request`` honouring 429 ``Retry-After`` backoff."""
+        """Run ``request`` honouring 429/503 ``Retry-After`` backoff."""
         deadline = time.monotonic() + timeout
         while True:
             try:
                 _, body = request()
                 return body
-            except ServerBusyError as busy:
+            except _RETRYABLE as busy:
                 remaining = deadline - time.monotonic()
                 if remaining <= 0:
                     raise
                 time.sleep(min(max(busy.retry_after, 0.01), remaining))
 
 
-__all__ = ["Client", "ServerBusyError", "ServerError"]
+__all__ = ["Client", "ServerBusyError", "ServerError", "ServerUnavailableError"]

@@ -179,6 +179,10 @@ class JobStore:
     def get(self, job_id: str) -> Job | None:
         return self._jobs.get(job_id)
 
+    def inflight(self) -> int:
+        """Jobs submitted but not yet finished (queued + running)."""
+        return sum(1 for job in self._jobs.values() if not job.finished)
+
     def __len__(self) -> int:
         return len(self._jobs)
 

@@ -1,0 +1,435 @@
+"""End-to-end tests of the cluster gateway over real sockets.
+
+Each test boots a small fleet of thread-hosted ``repro-server``
+backends plus a thread-hosted gateway, and talks to the gateway with
+the ordinary blocking :class:`repro.server.Client` — the gateway
+speaks the same protocol, so the client needs no cluster awareness.
+The failover tests kill real backends and assert that solves re-shard
+to ring successors with bit-identical results.
+"""
+
+import concurrent.futures
+import time
+
+import pytest
+
+from repro.api import AssignmentSession, Problem
+from repro.cluster import GatewayConfig, running_gateway, serve_gateway_in_thread
+from repro.errors import ServerError, ServerUnavailableError
+from repro.server import Client, ServerConfig, serve_in_thread
+
+from .conftest import random_instance
+
+ENGINE_CONFIGS = (
+    "sb",
+    "sb-update",
+    "sb-deltasky",
+    "sb-alt",
+    "sb-two-skylines",
+    "chain",
+    "sb-vec",
+    "sb-deltasky-vec",
+)
+
+
+def make_problem(nf=6, no=24, dims=3, seed=5, method="sb", **options):
+    functions, objects = random_instance(nf, no, dims, seed=seed)
+    return Problem.from_sets(objects, functions, method=method, options=options)
+
+
+def gateway_config(addresses, **overrides) -> GatewayConfig:
+    """Test-speed gateway: fast probes, immediate-ish down marking."""
+    defaults = dict(
+        backends=tuple(addresses),
+        port=0,
+        probe_interval_seconds=0.2,
+        probe_timeout_seconds=1.0,
+        down_after=2,
+        retry_after_seconds=0.05,
+    )
+    defaults.update(overrides)
+    return GatewayConfig(**defaults)
+
+
+class FleetFixture:
+    """N thread-hosted backends + one gateway, with kill/restart."""
+
+    def __init__(self, n: int):
+        self.handles = [serve_in_thread(ServerConfig(port=0)) for _ in range(n)]
+        self.addresses = [f"127.0.0.1:{h.port}" for h in self.handles]
+        self.gateway = serve_gateway_in_thread(gateway_config(self.addresses))
+
+    def owner_address(self, problem: Problem) -> str:
+        fleet = self.gateway.gateway._fleet
+        owner = fleet.owner(problem.instance_digest())
+        assert owner is not None
+        return owner.address
+
+    def handle_for(self, address: str):
+        return self.handles[self.addresses.index(address)]
+
+    def kill(self, address: str) -> None:
+        self.handle_for(address).close()
+
+    def restart(self, address: str) -> None:
+        port = int(address.rsplit(":", 1)[1])
+        self.handles[self.addresses.index(address)] = serve_in_thread(
+            ServerConfig(port=port)
+        )
+
+    def wait_alive(self, address: str, alive: bool, timeout: float = 15.0):
+        deadline = time.monotonic() + timeout
+        backend = self.gateway.gateway._fleet.backends[address]
+        while time.monotonic() < deadline:
+            if backend.alive == alive:
+                return
+            time.sleep(0.05)
+        raise AssertionError(
+            f"backend {address} never became {'alive' if alive else 'down'}"
+        )
+
+    def close(self) -> None:
+        self.gateway.close()
+        for handle in self.handles:
+            if handle.thread.is_alive():
+                handle.close()
+
+
+@pytest.fixture()
+def fleet():
+    fixture = FleetFixture(3)
+    try:
+        yield fixture
+    finally:
+        fixture.close()
+
+
+@pytest.fixture()
+def client(fleet):
+    with Client(fleet.gateway.base_url) as c:
+        yield c
+
+
+def test_gateway_health_reports_ring_membership(fleet, client):
+    health = client.health()
+    assert health["status"] == "ok"
+    assert health["role"] == "gateway"
+    assert health["ring"]["alive"] == 3
+    assert health["ring"]["configured"] == 3
+    assert sorted(health["ring"]["members"]) == sorted(fleet.addresses)
+    for address in fleet.addresses:
+        snapshot = health["backends"][address]
+        assert snapshot["alive"] is True
+        # Load signals lifted from each backend's own /healthz.
+        assert snapshot["queue_depth"] == 0
+        assert snapshot["jobs_inflight"] == 0
+        assert snapshot["version"] == health["version"]
+
+
+def test_gateway_solves_bit_identical_to_direct_for_all_engine_configs(
+    fleet, client
+):
+    """The acceptance contract: every engine config solved through the
+    gateway returns exactly what a direct single-server (and local
+    session) solve returns — same pairs, same scores, same resolved
+    method."""
+    problem = make_problem(seed=11)
+    pid = client.register(problem)
+    with AssignmentSession(problem) as session:
+        for method in ENGINE_CONFIGS + ("auto",):
+            via_gateway = client.solve(pid, method=method)
+            direct = session.solve(problem.with_method(method))
+            assert via_gateway.to_dict()["pairs"] == direct.to_dict()["pairs"]
+            assert via_gateway.method == direct.method
+            assert via_gateway.total_score() == direct.total_score()
+
+
+def test_sticky_routing_keeps_method_variants_on_one_backend(fleet, client):
+    """instance_digest excludes the solver section, so every method
+    variant of one catalogue forwards to the same backend (one R-tree
+    build per catalogue, fleet-wide)."""
+    problem = make_problem(seed=23)
+    pid = client.register(problem)
+    expected = fleet.owner_address(problem)
+    for method in ("sb", "chain", "sb-deltasky"):
+        _, body = Client(fleet.gateway.base_url).request(
+            "POST", f"/v1/problems/{pid}/solve", {"method": method}
+        )
+        assert body["backend"] == expected
+
+
+def test_distinct_catalogues_spread_across_backends(fleet, client):
+    """With enough distinct catalogues the ring uses the whole fleet."""
+    backends = set()
+    for seed in range(12):
+        problem = make_problem(seed=seed)
+        backends.add(fleet.owner_address(problem))
+        client.register(problem)
+    assert len(backends) >= 2
+
+
+def test_async_jobs_route_by_prefix_and_diff_works_cross_backend(
+    fleet, client
+):
+    # Two catalogues owned by different backends (seeds chosen at
+    # runtime off the live ring, so ephemeral ports can't break this).
+    seeds = iter(range(100))
+    problem_a = make_problem(seed=next(seeds))
+    owner_a = fleet.owner_address(problem_a)
+    problem_b = None
+    for seed in seeds:
+        candidate = make_problem(seed=seed)
+        if fleet.owner_address(candidate) != owner_a:
+            problem_b = candidate
+            break
+    assert problem_b is not None
+
+    jid_a = client.submit(client.register(problem_a))
+    jid_b = client.submit(client.register(problem_b))
+    for jid in (jid_a, jid_b):
+        assert "@" in jid
+        record = client.job(jid)
+        assert record["job_id"] == jid  # poll echoes the prefixed id
+    solution_a = client.result(jid_a)
+    solution_b = client.result(jid_b)
+
+    # Same-backend diff delegates to that backend; cross-backend diff
+    # is computed by the gateway from both solutions.  Either way the
+    # payload shape matches the single-server /v1/diff contract.
+    jid_a2 = client.submit(client.register(problem_a), method="chain")
+    client.result(jid_a2)
+    same = client.diff(jid_a, jid_a2)
+    assert same["identical"] is True and same["units_changed"] == 0
+
+    cross = client.diff(jid_a, jid_b)
+    assert cross["a"] == jid_a and cross["b"] == jid_b
+    assert cross["identical"] is (
+        solution_a.as_dict() == solution_b.as_dict()
+    )
+
+    with pytest.raises(ServerError) as excinfo:
+        client.job("deadbeef@job-00000001")
+    assert excinfo.value.status == 404
+
+
+def test_failover_reshards_to_successor_with_identical_solution(fleet, client):
+    problem = make_problem(nf=8, no=40, seed=31)
+    pid = client.register(problem)
+    before = client.solve(pid)
+    owner = fleet.owner_address(problem)
+
+    fleet.kill(owner)
+    # No probe wait needed: the forward path marks the backend down on
+    # the first refused connection and re-shards within the request.
+    after = client.solve(pid)
+    assert after.to_dict()["pairs"] == before.to_dict()["pairs"]
+    assert after.total_score() == before.total_score()
+    assert fleet.owner_address(problem) != owner
+
+    metrics = client.metrics()
+    assert metrics["gateway"]["reshards_total"] >= 1
+    # The successor had never seen the problem: the gateway replayed
+    # the remembered registration before retrying the solve.
+    assert metrics["gateway"]["reregistrations_total"] >= 1
+    assert metrics["gateway"]["backends_alive"] == 2
+    assert metrics["backends"][owner]["alive"] is False
+    assert client.health()["status"] == "degraded"
+
+
+def test_failover_is_bit_identical_for_every_engine_config(fleet, client):
+    """Kill the owner mid-sequence: every engine config re-solved on
+    the ring successor matches the pre-failover solution exactly."""
+    problem = make_problem(seed=47)
+    pid = client.register(problem)
+    before = {
+        method: client.solve(pid, method=method)
+        for method in ENGINE_CONFIGS + ("auto",)
+    }
+    fleet.kill(fleet.owner_address(problem))
+    for method, expected in before.items():
+        resolved = client.solve(pid, method=method)
+        assert resolved.to_dict()["pairs"] == expected.to_dict()["pairs"]
+        assert resolved.method == expected.method
+
+
+def test_no_live_owner_yields_503_with_retry_after(fleet, client):
+    problem = make_problem(seed=53)
+    pid = client.register(problem)
+    for address in fleet.addresses:
+        fleet.kill(address)
+    with pytest.raises(ServerUnavailableError) as excinfo:
+        client.request("POST", f"/v1/problems/{pid}/solve", None)
+    assert excinfo.value.status == 503
+    assert excinfo.value.retry_after > 0
+    metrics = client.metrics()
+    assert metrics["gateway"]["no_owner_total"] >= 1
+    assert metrics["gateway"]["backends_alive"] == 0
+    assert client.health()["status"] == "down"
+
+
+def test_job_poll_on_dead_backend_is_503_until_it_recovers(fleet, client):
+    problem = make_problem(seed=61)
+    pid = client.register(problem)
+    jid = client.submit(pid)
+    client.result(jid)  # completed on its owner
+    owner = fleet.owner_address(problem)
+
+    fleet.kill(owner)
+    fleet.wait_alive(owner, alive=False)
+    with pytest.raises(ServerUnavailableError):
+        client.job(jid)
+
+    # Restarting on the same port rejoins the same ring position; the
+    # job record itself died with the old process, so the poll now
+    # relays the backend's honest 404 instead of a transport error.
+    fleet.restart(owner)
+    fleet.wait_alive(owner, alive=True)
+    with pytest.raises(ServerError) as excinfo:
+        client.job(jid)
+    assert excinfo.value.status == 404
+
+
+def test_recovered_backend_rejoins_with_ownership_intact(fleet, client):
+    problem = make_problem(seed=67)
+    pid = client.register(problem)
+    owner = fleet.owner_address(problem)
+    baseline = client.solve(pid)
+
+    fleet.kill(owner)
+    fleet.wait_alive(owner, alive=False)
+    via_successor = client.solve(pid)
+    successor = fleet.owner_address(problem)
+    assert successor != owner
+
+    fleet.restart(owner)
+    fleet.wait_alive(owner, alive=True)
+    # Ring positions were never dropped, so ownership reverts exactly.
+    assert fleet.owner_address(problem) == owner
+    recovered = client.solve(pid)
+    assert recovered.to_dict()["pairs"] == baseline.to_dict()["pairs"]
+    assert via_successor.to_dict()["pairs"] == baseline.to_dict()["pairs"]
+    metrics = client.metrics()
+    assert metrics["backends"][owner]["recoveries"] >= 1
+    assert client.health()["status"] == "ok"
+
+
+def test_inline_solve_and_submit_without_prior_registration(fleet, client):
+    """POST /v1/solve and /v1/jobs with an inline problem payload work
+    through the gateway (it registers-and-routes as a side effect),
+    matching the single-server inline contract."""
+    problem = make_problem(seed=71)
+    status, body = client.request(
+        "POST", "/v1/solve", {"problem": problem.to_dict()}
+    )
+    assert status == 200
+    assert body["backend"] == fleet.owner_address(problem)
+    with AssignmentSession(problem) as session:
+        direct = session.solve()
+    assert body["solution"]["pairs"] == direct.to_dict()["pairs"]
+
+    status, submitted = client.request(
+        "POST", "/v1/jobs", {"problem": problem.to_dict(), "method": "chain"}
+    )
+    assert status == 202
+    assert "@" in submitted["job_id"]
+    assert client.result(submitted["job_id"]).to_dict()["pairs"] == (
+        direct.to_dict()["pairs"]
+    )
+
+
+def test_gateway_metrics_aggregate_fleet_counters(fleet, client):
+    problems = [make_problem(seed=seed) for seed in range(4)]
+    for problem in problems:
+        client.solve(client.register(problem))
+        client.solve(problems[0].digest())  # repeat: backend cache hit
+
+    metrics = client.metrics()
+    fleet_section = metrics["fleet"]
+    assert fleet_section["solves"]["total"] >= 8
+    assert fleet_section["solves"]["cache_hits"] >= 3
+    assert fleet_section["backends_reporting"] == 3
+    assert fleet_section["unreachable"] == []
+    # Summed backend counters equal the per-backend sum, by direct
+    # comparison against each backend's own /metrics.
+    direct_total = 0
+    for address in fleet.addresses:
+        with Client(f"http://{address}") as direct:
+            direct_total += direct.metrics()["solves"]["total"]
+    assert fleet_section["solves"]["total"] == direct_total
+
+    gateway_section = metrics["gateway"]
+    assert gateway_section["forwards_total"] >= 8
+    assert gateway_section["probe_cycles"] >= 1
+    assert metrics["http"]["requests_total"] >= 8
+    latency = metrics["forward_latency"]
+    assert sum(h["count"] for h in latency.values()) >= 8
+
+
+def test_gateway_rejects_bad_requests_like_a_server(fleet, client):
+    with pytest.raises(ServerError) as excinfo:
+        client.request("POST", "/v1/solve", {"problem_id": 42})
+    assert excinfo.value.status == 400
+    with pytest.raises(ServerError) as excinfo:
+        client.request("POST", "/v1/solve", {})
+    assert excinfo.value.status == 400
+    with pytest.raises(ServerError) as excinfo:
+        client.request("GET", "/v1/problems/unknown")
+    assert excinfo.value.status == 404
+    with pytest.raises(ServerError) as excinfo:
+        client.request("GET", "/v1/diff?a=onlyone")
+    assert excinfo.value.status == 400
+
+
+def test_gateway_serves_concurrent_clients(fleet):
+    """Eight threads hammer the gateway with a mix of catalogues; all
+    solutions verify and match their local-session references."""
+    problems = [make_problem(seed=seed) for seed in range(4)]
+    references = []
+    for problem in problems:
+        with AssignmentSession(problem) as session:
+            references.append(session.solve().to_dict()["pairs"])
+
+    def solve_one(i):
+        problem = problems[i % len(problems)]
+        with Client(fleet.gateway.base_url) as c:
+            return i % len(problems), c.solve(problem).to_dict()["pairs"]
+
+    with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+        for index, pairs in pool.map(solve_one, range(16)):
+            assert pairs == references[index]
+
+
+def test_gateway_config_validation():
+    from repro.cluster import ReproGateway
+
+    # Fleet validation fires at gateway construction:
+    with pytest.raises(ValueError):
+        ReproGateway(GatewayConfig(backends=()))
+    with pytest.raises(ValueError):
+        ReproGateway(
+            GatewayConfig(backends=("127.0.0.1:1", "127.0.0.1:1"))
+        )
+    # URL-ish backend spellings normalize to host:port.
+    assert GatewayConfig.normalize_address("http://127.0.0.1:8001/") == (
+        "127.0.0.1:8001"
+    )
+
+
+def test_gateway_boots_with_backends_already_down():
+    """Backends dead at startup are marked down by the initial probe
+    sweep, and the fleet serves from whatever is alive."""
+    live = serve_in_thread(ServerConfig(port=0))
+    dead_address = "127.0.0.1:1"  # nothing listens on port 1
+    try:
+        with running_gateway(
+            gateway_config([f"127.0.0.1:{live.port}", dead_address])
+        ) as gw:
+            with Client(gw.base_url) as client:
+                health = client.health()
+                assert health["status"] == "degraded"
+                assert health["backends"][dead_address]["alive"] is False
+                problem = make_problem(seed=79)
+                solution = client.solve(problem)
+                solution.verify()
+    finally:
+        live.close()

@@ -1,0 +1,146 @@
+"""Properties of the consistent-hash ring the gateway routes by.
+
+The three guarantees sharding rests on, each pinned here: the mapping
+is deterministic across processes (no per-process hash salting),
+virtual nodes spread keys within the advertised balance envelope, and
+removing a node moves only that node's keys (minimal movement) — which
+is exactly why the gateway skips dead nodes instead of removing them.
+"""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+from collections import Counter
+from pathlib import Path
+
+import repro
+from repro.cluster import HashRing, ring_hash
+
+SRC_DIR = str(Path(repro.__file__).resolve().parent.parent)
+
+NODES = ("10.0.0.1:8001", "10.0.0.2:8001", "10.0.0.3:8001")
+
+
+def digests(count: int) -> list[str]:
+    """Realistic routing keys: hex digests, like ``instance_digest``."""
+    return [
+        hashlib.sha256(f"instance-{i}".encode()).hexdigest()
+        for i in range(count)
+    ]
+
+
+def test_preference_lists_cover_all_members_without_repeats():
+    ring = HashRing(NODES)
+    for key in digests(50):
+        preference = ring.preference(key)
+        assert sorted(preference) == sorted(NODES)
+        assert preference[0] == ring.owner(key)
+
+
+def test_owner_respects_alive_filter_in_successor_order():
+    ring = HashRing(NODES)
+    key = digests(1)[0]
+    first, second, third = ring.preference(key)
+    assert ring.owner(key, alive={second, third}) == second
+    assert ring.owner(key, alive=lambda node: node == third) == third
+    assert ring.owner(key, alive=set()) is None
+
+
+def test_empty_ring_and_membership_bookkeeping():
+    ring = HashRing()
+    assert ring.preference("anything") == []
+    assert ring.owner("anything") is None
+    ring.add(NODES[0])
+    ring.add(NODES[0])  # idempotent
+    assert len(ring) == 1 and NODES[0] in ring
+    assert ring.owner("anything") == NODES[0]
+    ring.remove(NODES[0])
+    ring.remove(NODES[0])  # idempotent
+    assert len(ring) == 0 and ring.preference("anything") == []
+
+
+def test_mapping_is_deterministic_across_processes():
+    """The whole design rests on this: every gateway process, today
+    and after a restart, maps every key to the same owner — builtin
+    ``hash`` would be salted per process, SHA-256 is not."""
+    keys = digests(50)
+    ring = HashRing(NODES)
+    local = {key: ring.preference(key) for key in keys}
+
+    script = (
+        "import json, sys\n"
+        "from repro.cluster import HashRing\n"
+        "nodes, keys = json.load(sys.stdin)\n"
+        "ring = HashRing(nodes)\n"
+        "print(json.dumps({k: ring.preference(k) for k in keys}))\n"
+    )
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_DIR + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    completed = subprocess.run(
+        [sys.executable, "-c", script],
+        input=json.dumps([list(NODES), keys]),
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    assert json.loads(completed.stdout) == local
+    # And ring_hash itself is a pure content hash.
+    assert ring_hash("abc") == int.from_bytes(
+        hashlib.sha256(b"abc").digest()[:8], "big"
+    )
+
+
+def test_balance_within_twenty_percent_on_1k_digests():
+    """1k digests over 3 nodes: every node lands within +-20% of the
+    even share (the default virtual-node count is chosen for this)."""
+    keys = digests(1000)
+    ring = HashRing(NODES)
+    counts = Counter(ring.owner(key) for key in keys)
+    assert sorted(counts) == sorted(NODES)
+    even = len(keys) / len(NODES)
+    for node, count in counts.items():
+        assert 0.8 * even <= count <= 1.2 * even, (node, count)
+
+
+def test_removal_moves_only_the_removed_nodes_keys():
+    """Minimal movement: dropping one of N nodes re-homes ~1/N of the
+    keys — exactly those the removed node owned — and no key owned by
+    a surviving node moves."""
+    nodes = NODES + ("10.0.0.4:8001",)
+    keys = digests(1000)
+    ring = HashRing(nodes)
+    before = {key: ring.owner(key) for key in keys}
+    victim = nodes[1]
+    ring.remove(victim)
+    after = {key: ring.owner(key) for key in keys}
+
+    moved = {key for key in keys if before[key] != after[key]}
+    assert moved == {key for key in keys if before[key] == victim}
+    # ~1/N of the keys, with slack for virtual-node variance.
+    share = len(moved) / len(keys)
+    assert 0.15 <= share <= 0.35, share
+
+    # Re-adding the node restores the original ownership exactly —
+    # the gateway's recovery story (rejoin with positions intact).
+    ring.add(victim)
+    assert {key: ring.owner(key) for key in keys} == before
+
+
+def test_successor_skip_equals_removal_for_ownership():
+    """Skipping a dead node via the alive-filter gives the same owner
+    as physically removing it — so the gateway's skip-don't-remove
+    failover agrees with consistent-hashing's movement guarantee."""
+    keys = digests(300)
+    ring = HashRing(NODES)
+    dead = NODES[2]
+    alive = set(NODES) - {dead}
+    skipped = {key: ring.owner(key, alive=alive) for key in keys}
+
+    removed_ring = HashRing(NODES)
+    removed_ring.remove(dead)
+    assert {key: removed_ring.owner(key) for key in keys} == skipped

@@ -457,3 +457,52 @@ def test_identical_concurrent_requests_coalesce_to_one_engine_run(server):
     assert metrics["solution_cache"]["misses"] == 1
     assert metrics["index_cache"]["misses"] == 1
     assert metrics["solves"]["total"] == 8
+
+
+def test_healthz_reports_load_and_version(client):
+    """The enriched /healthz contract the cluster gateway probes rely
+    on: version, uptime and load signals alongside the legacy keys."""
+    import repro
+
+    health = client.health()
+    assert health["status"] == "ok"
+    assert health["problems"] == 0            # legacy key, still present
+    assert health["executor"] == "thread"     # legacy key, still present
+    assert health["version"] == repro.__version__
+    assert health["uptime_seconds"] >= 0
+    assert health["queue_depth"] == 0
+    assert health["jobs_inflight"] == 0
+
+    problem = make_problem(seed=91)
+    client.solve(problem)
+    assert client.health()["problems"] == 1
+
+
+def test_shared_client_is_thread_safe(server):
+    """One Client shared by many threads: each thread gets its own
+    keep-alive connection, so concurrent calls cannot interleave on a
+    single HTTP stream (the cluster gateway forwards every in-flight
+    request for a backend through one shared Client)."""
+    problems = [make_problem(seed=s) for s in (101, 102, 103)]
+    with AssignmentSession(problems[0]) as session:
+        references = {
+            p.digest(): session.solve(p).to_dict()["pairs"] for p in problems
+        }
+
+    with Client(server.base_url) as shared:
+        ids = [shared.register(p) for p in problems]
+
+        def hammer(i):
+            pid = ids[i % len(ids)]
+            if i % 5 == 4:
+                assert shared.health()["status"] == "ok"
+            return pid, shared.solve(pid).to_dict()["pairs"]
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            for pid, pairs in pool.map(hammer, range(24)):
+                assert pairs == references[pid]
+
+        # close() drops every thread's connection; the client remains
+        # usable afterwards (threads transparently reconnect).
+        shared.close()
+        assert shared.health()["status"] == "ok"
