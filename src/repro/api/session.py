@@ -14,6 +14,7 @@ and departure.  Sessions are context managers; a closed session raises
 
 from __future__ import annotations
 
+import contextvars
 from collections.abc import Iterable, Sequence
 from concurrent.futures import Future, ThreadPoolExecutor
 
@@ -30,6 +31,7 @@ from repro.core.dynamic import DynamicStableMatching
 from repro.core.validate import assert_stable
 from repro.data.instances import FunctionSet, ObjectSet
 from repro.errors import InvalidProblemError, SessionClosedError
+from repro.obs.trace import span
 from repro.planner import AUTO_METHOD as _AUTO
 from repro.planner import Plan
 from repro.service.batch import BatchSolver, SolveJob
@@ -172,7 +174,8 @@ class AssignmentSession:
         """
         self._check_open()
         target = problem if problem is not None else self._problem
-        job_result = self._batch.solve_one(self._job_for(target))
+        with span("session.solve", method=target.method):
+            job_result = self._batch.solve_one(self._job_for(target))
         return Solution.from_result(
             job_result.result,
             method=job_result.method,
@@ -217,7 +220,11 @@ class AssignmentSession:
                 max_workers=self._max_workers,
                 thread_name_prefix="repro-session",
             )
-        return self._pool.submit(self.solve, problem)
+        # Pool threads don't inherit contextvars; carry the caller's
+        # trace context (and span collector) across the submit so the
+        # solve's spans land in the submitting request's trace.
+        context = contextvars.copy_context()
+        return self._pool.submit(context.run, self.solve, problem)
 
     def cache_info(self) -> dict[str, int]:
         return self._batch.cache_info()

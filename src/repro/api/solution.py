@@ -201,6 +201,7 @@ class Solution:
                 "peak_memory_bytes": self.stats.peak_memory_bytes,
                 "loops": self.stats.loops,
                 "counters": dict(self.stats.counters),
+                "phases": dict(self.stats.phases),
             }
         payload = {
             SCHEMA_KEY: SOLUTION_SCHEMA,
@@ -243,6 +244,7 @@ class Solution:
                 peak_memory_bytes=int(raw.get("peak_memory_bytes", 0)),
                 loops=int(raw.get("loops", 0)),
                 counters=dict(raw.get("counters") or {}),
+                phases=dict(raw.get("phases") or {}),
             )
         raw_plan = payload.get("plan")
         plan = Plan.from_dict(raw_plan) if raw_plan is not None else None

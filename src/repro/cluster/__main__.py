@@ -10,9 +10,9 @@ comma-separated ``--backends`` list).
 from __future__ import annotations
 
 import argparse
-import logging
 
 from repro.cluster.app import GatewayConfig, ReproGateway
+from repro.obs.log import configure_logging
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -64,14 +64,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-level", default="INFO",
         choices=["DEBUG", "INFO", "WARNING", "ERROR"],
     )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON-lines logs instead of key=value text",
+    )
+    parser.add_argument(
+        "--no-observability", action="store_true",
+        help="disable request tracing and trace retention",
+    )
+    parser.add_argument(
+        "--slow-trace-threshold", type=float, default=0.25,
+        help=(
+            "requests at or over this wall time (seconds) are pinned in "
+            "the slow-trace store"
+        ),
+    )
+    parser.add_argument(
+        "--log-ring-size", type=int, default=512,
+        help="recent log records retained for GET /v1/logs",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> None:
     args = build_parser().parse_args(argv)
-    logging.basicConfig(
-        level=getattr(logging, args.log_level),
-        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    configure_logging(
+        level=args.log_level,
+        json_mode=args.log_json,
+        node=f"{args.host}:{args.port}" if args.port else args.host,
     )
     addresses = list(args.backend)
     if args.backends:
@@ -92,6 +112,9 @@ def main(argv: list[str] | None = None) -> None:
         down_after=args.down_after,
         forward_timeout_seconds=args.forward_timeout,
         retry_after_seconds=args.retry_after,
+        observability=not args.no_observability,
+        slow_trace_threshold_seconds=args.slow_trace_threshold,
+        log_ring_size=args.log_ring_size,
     )
     gateway = ReproGateway(config)
 

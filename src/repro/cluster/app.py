@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import json
 import logging
 import threading
 import time
@@ -54,6 +55,20 @@ from repro.errors import (
     ServerUnavailableError,
     UnknownSolverError,
 )
+from repro.obs.log import LogRing, RingHandler, get_logger
+from repro.obs.prom import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+    wants_prometheus,
+)
+from repro.obs.store import TraceStore
+from repro.obs.trace import (
+    TRACE_HEADER,
+    SpanCollector,
+    TraceContext,
+    collecting,
+    span,
+)
 from repro.server.http import (
     MAX_BODY_BYTES,
     ProtocolError,
@@ -64,7 +79,21 @@ from repro.server.http import (
 from repro.server.metrics import LatencyHistogram
 from repro.server.router import Router
 
-log = logging.getLogger("repro.cluster")
+log = get_logger("repro.cluster")
+
+#: Probe/scrape and observability paths stay outside the trace
+#: pipeline, and job-status poll GETs skip it too (same rule as the
+#: server: polls arrive tens of times per solve and would churn the
+#: trace store with noise).
+_UNTRACED_PREFIXES = ("/healthz", "/metrics", "/v1/traces", "/v1/logs")
+
+_UNTRACED_GET_PREFIXES = ("/v1/jobs",)
+
+
+def _is_traced(method: str, path: str) -> bool:
+    if path.startswith(_UNTRACED_PREFIXES):
+        return False
+    return not (method == "GET" and path.startswith(_UNTRACED_GET_PREFIXES))
 
 _BAD_REQUEST_ERRORS = (
     SerdeError,
@@ -130,6 +159,16 @@ class GatewayConfig:
     #: re-registration store; an evicted problem simply 404s and the
     #: client re-registers, exactly as against a bare server).
     problem_registry_size: int = 4096
+    #: Master switch for request tracing + trace retention.
+    observability: bool = True
+    #: Requests at or over this wall time pin in the slow-trace store.
+    slow_trace_threshold_seconds: float = 0.25
+    #: LRU bound of the recent-trace store.
+    trace_store_size: int = 256
+    #: LRU bound of the pinned slow-trace store.
+    slow_trace_store_size: int = 64
+    #: Bounded in-process log ring served at ``GET /v1/logs``.
+    log_ring_size: int = 512
 
     @staticmethod
     def normalize_address(address: str) -> str:
@@ -189,6 +228,14 @@ class ReproGateway:
         self._tcp: asyncio.Server | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop_event: asyncio.Event | None = None
+        self._traces = TraceStore(
+            recent_size=config.trace_store_size,
+            slow_size=config.slow_trace_store_size,
+            slow_threshold_seconds=config.slow_trace_threshold_seconds,
+        )
+        self._log_ring = LogRing(config.log_ring_size)
+        self._ring_handler: RingHandler | None = None
+        self._node: str | None = None
         self._router = self._build_router()
 
     # -- routing table -------------------------------------------------
@@ -205,6 +252,9 @@ class ReproGateway:
         router.add("GET", "/v1/jobs/{jid}", self._get_job)
         router.add("GET", "/v1/jobs/{jid}/solution", self._get_job_solution)
         router.add("GET", "/v1/diff", self._diff_jobs)
+        router.add("GET", "/v1/traces", self._list_traces)
+        router.add("GET", "/v1/traces/{tid}", self._get_trace)
+        router.add("GET", "/v1/logs", self._get_logs)
         return router
 
     # -- problem routing state -----------------------------------------
@@ -260,10 +310,11 @@ class ReproGateway:
                 return backend.client.request("POST", path, body)
             except ServerError as exc:
                 if exc.status == 404 and entry is not None:
-                    backend.client.request(
-                        "POST", "/v1/problems", entry["payload"]
-                    )
-                    self._fleet.count_reregistration()
+                    with span("gateway.reregister", backend=backend.address):
+                        backend.client.request(
+                            "POST", "/v1/problems", entry["payload"]
+                        )
+                        self._fleet.count_reregistration()
                     return backend.client.request("POST", path, body)
                 raise
 
@@ -325,36 +376,42 @@ class ReproGateway:
 
     async def _metrics_endpoint(self, request: Request) -> Response:
         fleet_totals, unreachable = await self._aggregate_fleet_metrics()
-        return Response.json(
-            {
-                "uptime_seconds": time.time() - self._metrics.started,
-                "http": {
-                    "requests_total": self._metrics.requests_total,
-                    "responses_by_status": {
-                        str(status): n
-                        for status, n in sorted(
-                            self._metrics.responses_by_status.items()
-                        )
-                    },
-                },
-                "gateway": {
-                    **self._fleet.info(),
-                    "probe_cycles": self._prober.cycles,
-                    "probe_interval_seconds": self._prober.interval,
-                },
-                "backends": {
-                    backend.address: backend.snapshot()
-                    for backend in self._fleet.backends.values()
-                },
-                "forward_latency": {
-                    address: histogram.to_dict()
-                    for address, histogram in sorted(
-                        self._metrics.forward_latency.items()
+        snapshot = {
+            "uptime_seconds": time.time() - self._metrics.started,
+            "http": {
+                "requests_total": self._metrics.requests_total,
+                "responses_by_status": {
+                    str(status): n
+                    for status, n in sorted(
+                        self._metrics.responses_by_status.items()
                     )
                 },
-                "fleet": {**fleet_totals, "unreachable": unreachable},
-            }
-        )
+            },
+            "gateway": {
+                **self._fleet.info(),
+                "probe_cycles": self._prober.cycles,
+                "probe_interval_seconds": self._prober.interval,
+            },
+            "backends": {
+                backend.address: backend.snapshot()
+                for backend in self._fleet.backends.values()
+            },
+            "forward_latency": {
+                address: histogram.to_dict()
+                for address, histogram in sorted(
+                    self._metrics.forward_latency.items()
+                )
+            },
+            "fleet": {**fleet_totals, "unreachable": unreachable},
+            "traces": self._traces.info(),
+            "log_ring": self._log_ring.info(),
+        }
+        if wants_prometheus(request):
+            return Response(
+                body=render_prometheus(snapshot).encode("utf-8"),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+            )
+        return Response.json(snapshot)
 
     async def _aggregate_fleet_metrics(self) -> tuple[dict, list[str]]:
         """Summed counters across every live backend's ``/metrics``."""
@@ -427,10 +484,11 @@ class ReproGateway:
                 return backend.client.request("GET", path)
             except ServerError as exc:
                 if exc.status == 404 and entry is not None:
-                    backend.client.request(
-                        "POST", "/v1/problems", entry["payload"]
-                    )
-                    self._fleet.count_reregistration()
+                    with span("gateway.reregister", backend=backend.address):
+                        backend.client.request(
+                            "POST", "/v1/problems", entry["payload"]
+                        )
+                        self._fleet.count_reregistration()
                     return backend.client.request("GET", path)
                 raise
 
@@ -545,9 +603,124 @@ class ReproGateway:
 
         return Response.json(await asyncio.to_thread(compute))
 
+    # -- observability endpoints ---------------------------------------
+
+    async def _list_traces(self, request: Request) -> Response:
+        try:
+            limit = int(request.query.get("limit", "50"))
+        except ValueError:
+            raise SerdeError("'limit' must be an integer") from None
+        return Response.json(
+            {"traces": self._traces.recent(limit), "info": self._traces.info()}
+        )
+
+    async def _get_trace(self, request: Request, tid: str) -> Response:
+        """The stitched cross-backend view of one trace: the gateway's
+        own record merged with whatever each live backend retained
+        under the same trace id — a failover's failed forward, the
+        re-registration, and the successor's re-solve reassemble into
+        one tree because every span carries the same trace id."""
+        local = self._traces.get(tid)
+
+        def fetch(backend: Backend):
+            try:
+                return backend.probe_client.request("GET", f"/v1/traces/{tid}")[1]
+            except Exception:
+                return None  # 404s and dead backends just contribute nothing
+
+        remotes = await asyncio.gather(
+            *(
+                asyncio.to_thread(fetch, backend)
+                for backend in self._fleet.alive_backends()
+            )
+        )
+        records = ([local] if local is not None else []) + [
+            r for r in remotes if isinstance(r, dict)
+        ]
+        if not records:
+            raise _NotFound(f"unknown trace {tid!r}")
+        spans: list[dict] = []
+        seen: set[str] = set()
+        for record in records:
+            for s in record.get("spans", ()):
+                span_id = s.get("span_id")
+                if span_id in seen:
+                    continue
+                seen.add(span_id)
+                spans.append(s)
+        spans.sort(key=lambda s: s.get("started") or 0.0)
+        base = local if local is not None else records[0]
+        stitched = {
+            "trace_id": tid,
+            "root": base.get("root"),
+            "status": base.get("status"),
+            "started": base.get("started"),
+            "duration_seconds": base.get("duration_seconds"),
+            "slow": any(r.get("slow") for r in records),
+            "stitched": True,
+            "nodes": sorted({s["node"] for s in spans if s.get("node")}),
+            "spans": spans,
+        }
+        for record in records:
+            if record.get("plan_explain"):
+                stitched["plan_explain"] = record["plan_explain"]
+                break
+        return Response.json(stitched)
+
+    async def _get_logs(self, request: Request) -> Response:
+        try:
+            limit = int(request.query.get("limit", "100"))
+        except ValueError:
+            raise SerdeError("'limit' must be an integer") from None
+        level = request.query.get("level")
+        return Response.json(
+            {
+                "entries": self._log_ring.tail(limit, level),
+                "ring": self._log_ring.info(),
+            }
+        )
+
     # -- connection handling -------------------------------------------
 
     async def _dispatch(self, request: Request) -> Response:
+        if not self.config.observability or not _is_traced(
+            request.method, request.path
+        ):
+            return await self._dispatch_inner(request)
+        parent = TraceContext.parse(request.headers.get("x-repro-trace"))
+        collector = SpanCollector()
+        with collecting(collector, parent=parent):
+            with span(
+                "gateway.request", method=request.method, path=request.path
+            ) as root:
+                response = await self._dispatch_inner(request)
+                root.attributes["status"] = response.status
+                if response.status >= 500:
+                    root.status = "error"
+                    root.error = f"HTTP {response.status}"
+        response.headers[TRACE_HEADER] = f"{root.trace_id}:{root.span_id}"
+        if response.status >= 400 and response.content_type == "application/json":
+            try:
+                payload = json.loads(response.body)
+            except ValueError:
+                payload = None
+            if isinstance(payload, dict) and "trace_id" not in payload:
+                payload["trace_id"] = root.trace_id
+                response.body = (
+                    json.dumps(payload, sort_keys=True) + "\n"
+                ).encode("utf-8")
+        record = self._traces.record(root, collector.spans, node=self._node)
+        if record["slow"]:
+            log.warning(
+                "slow request",
+                method=request.method,
+                path=request.path,
+                trace_id=root.trace_id,
+                duration_ms=round(record["duration_seconds"] * 1000, 2),
+            )
+        return response
+
+    async def _dispatch_inner(self, request: Request) -> Response:
         routed = self._router.dispatch(request)
         if isinstance(routed, Response):
             response = routed
@@ -575,7 +748,9 @@ class ReproGateway:
                 raise
             except Exception:
                 log.exception(
-                    "unhandled error in %s %s", request.method, request.path
+                    "unhandled request error",
+                    method=request.method,
+                    path=request.path,
                 )
                 response = Response.error(500, "internal gateway error")
         self._metrics.record_response(response.status)
@@ -641,6 +816,15 @@ class ReproGateway:
             self._handle_connection, self.config.host, self.config.port
         )
         self.port = self._tcp.sockets[0].getsockname()[1]
+        self._node = f"{self.config.host}:{self.port}"
+        self._ring_handler = RingHandler(self._log_ring, node=self._node)
+        repro_logger = logging.getLogger("repro")
+        repro_logger.addHandler(self._ring_handler)
+        # Embedded gateways run without configure_logging(); the ring
+        # still captures INFO-level operational events (the last-resort
+        # console handler stays WARNING+, so stdout is unchanged).
+        if repro_logger.getEffectiveLevel() > logging.INFO:
+            repro_logger.setLevel(logging.INFO)
 
     async def stop(self) -> None:
         if self._tcp is not None:
@@ -653,6 +837,9 @@ class ReproGateway:
         self._conn_tasks.clear()
         await asyncio.to_thread(self._prober.close)
         await asyncio.to_thread(self._fleet.close)
+        if self._ring_handler is not None:
+            logging.getLogger("repro").removeHandler(self._ring_handler)
+            self._ring_handler = None
 
     def request_stop(self) -> None:
         """Thread-safe shutdown signal (used by :class:`GatewayHandle`)."""

@@ -26,13 +26,13 @@ ring positions (and key ownership) intact.
 from __future__ import annotations
 
 import hashlib
-import logging
 import threading
 import time
 
+from repro.obs.log import get_logger
 from repro.server.client import Client
 
-log = logging.getLogger("repro.cluster")
+log = get_logger("repro.cluster")
 
 
 def node_id_for(address: str) -> str:
@@ -86,7 +86,7 @@ class Backend:
                 return False
             self.alive = False
             self.marks_down += 1
-        log.warning("backend %s marked down: %s", self.address, reason)
+        log.warning("backend marked down", backend=self.address, reason=reason)
         return True
 
     def record_probe_success(self, payload: dict) -> bool:
@@ -100,7 +100,10 @@ class Backend:
                 return False
             self.alive = True
             self.recoveries += 1
-        log.info("backend %s recovered; rejoining its ring positions", self.address)
+        log.info(
+            "backend recovered; rejoining its ring positions",
+            backend=self.address,
+        )
         return True
 
     def record_probe_failure(self, reason: str) -> bool:
@@ -114,8 +117,10 @@ class Backend:
             self.alive = False
             self.marks_down += 1
         log.warning(
-            "backend %s failed %d consecutive probes; marked down (%s)",
-            self.address, self.down_after, reason,
+            "backend failed consecutive probes; marked down",
+            backend=self.address,
+            probes=self.down_after,
+            reason=reason,
         )
         return True
 

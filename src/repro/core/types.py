@@ -117,6 +117,11 @@ class RunStats:
     peak_memory_bytes: int = 0
     loops: int = 0
     counters: dict[str, int] = field(default_factory=dict)
+    #: Wall-clock seconds per engine round-loop phase (skyline_initial,
+    #: search, commit, skyline_repair).  Timing data, so excluded from
+    #: equality: bit-identity checks compare results across executors,
+    #: and wall clocks never agree.
+    phases: dict[str, float] = field(default_factory=dict, compare=False)
 
     @property
     def io_accesses(self) -> int:

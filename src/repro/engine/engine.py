@@ -24,6 +24,7 @@ five copies.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable
 
@@ -95,9 +96,11 @@ class AssignmentEngine:
         round_strategy = self.config.build_round(ctx)
         commit = self.config.build_commit(ctx)
 
+        phase_start = time.perf_counter()
         skyline = maintenance.compute_initial()
+        inst.phase("skyline_initial", time.perf_counter() - phase_start)
         loops, skyline = self._round_loop(
-            ctx, maintenance, round_strategy, commit, skyline
+            ctx, maintenance, round_strategy, commit, skyline, inst
         )
 
         stats = inst.finish(loops)
@@ -115,17 +118,26 @@ class AssignmentEngine:
         round_strategy: RoundStrategy,
         commit: CommitPolicy,
         skyline,
+        inst: Instrumentation,
     ) -> tuple[int, object]:
         caps = ctx.caps
         loops = 0
+        # Local accumulators, folded into ``inst.phases`` once at loop
+        # exit — two perf_counter reads per phase per round, no dict
+        # traffic on the hot path.
+        search_seconds = commit_seconds = repair_seconds = 0.0
+        clock = time.perf_counter
         while not caps.exhausted and skyline:
             loops += 1
+            tick = clock()
             proposed = round_strategy.propose(skyline)
+            search_seconds += clock() - tick
             if proposed is None:
                 break  # pair source exhausted (no alive functions seen)
             if not proposed:
                 continue  # non-emitting round (e.g. a chase step)
 
+            tick = clock()
             dead_objects: list[int] = []
             dead_functions: list[int] = []
             for fid, oid, s in commit.select(proposed):
@@ -136,10 +148,16 @@ class AssignmentEngine:
                     dead_functions.append(fid)
                 if o_died:
                     dead_objects.append(oid)
+            commit_seconds += clock() - tick
 
             if caps.exhausted:
                 break
             if dead_objects:
+                tick = clock()
                 skyline = maintenance.remove(dead_objects)
+                repair_seconds += clock() - tick
             round_strategy.on_round_end(dead_functions)
+        inst.phase("search", search_seconds)
+        inst.phase("commit", commit_seconds)
+        inst.phase("skyline_repair", repair_seconds)
         return loops, skyline

@@ -43,6 +43,14 @@ class Instrumentation:
         self._start = time.perf_counter()
         self._io_before = index.stats.snapshot()
         self.mem = MemoryTracker()
+        self.phases: dict[str, float] = {}
+
+    def phase(self, name: str, seconds: float) -> None:
+        """Accumulate wall-clock time against a round-loop phase
+        (``skyline_initial`` / ``search`` / ``commit`` /
+        ``skyline_repair``).  Phases feed span trees, not counters —
+        counters stay bit-identical across executors."""
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
 
     def finish(self, loops: int) -> RunStats:
         """Assemble the run's :class:`RunStats` (object-index I/O only;
@@ -52,4 +60,5 @@ class Instrumentation:
             cpu_seconds=time.perf_counter() - self._start,
             peak_memory_bytes=self.mem.peak_bytes,
             loops=loops,
+            phases=dict(self.phases),
         )

@@ -95,9 +95,13 @@ class ServerError(ReproError):
         message: str,
         status: int | None = None,
         payload: object = None,
+        trace_id: str | None = None,
     ):
         self.status = status
         self.payload = payload
+        #: Trace id of the failed request (when the server echoed one),
+        #: for ``repro-admin trace`` / ``GET /v1/traces/{id}`` lookup.
+        self.trace_id = trace_id
         super().__init__(message)
 
 
@@ -110,9 +114,10 @@ class ServerBusyError(ServerError):
         message: str,
         retry_after: float = 1.0,
         payload: object = None,
+        trace_id: str | None = None,
     ):
         self.retry_after = float(retry_after)
-        super().__init__(message, status=429, payload=payload)
+        super().__init__(message, status=429, payload=payload, trace_id=trace_id)
 
 
 class ServerUnavailableError(ServerError):
@@ -127,9 +132,10 @@ class ServerUnavailableError(ServerError):
         message: str,
         retry_after: float = 1.0,
         payload: object = None,
+        trace_id: str | None = None,
     ):
         self.retry_after = float(retry_after)
-        super().__init__(message, status=503, payload=payload)
+        super().__init__(message, status=503, payload=payload, trace_id=trace_id)
 
 
 __all__ = [

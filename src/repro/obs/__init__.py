@@ -1,0 +1,62 @@
+"""``repro.obs`` — stdlib-only observability for the serving stack.
+
+- :mod:`repro.obs.trace` — trace context, spans, wire propagation
+- :mod:`repro.obs.log` — structured JSON-lines logging + log ring
+- :mod:`repro.obs.store` — trace retention (slow-solve log) + rendering
+- :mod:`repro.obs.prom` — Prometheus text exposition of ``/metrics``
+- :mod:`repro.obs.admin` — the ``repro-admin`` fleet console
+"""
+
+from repro.obs.log import (
+    JsonFormatter,
+    KeyValueFormatter,
+    LogRing,
+    RingHandler,
+    StructuredLogger,
+    configure_logging,
+    get_logger,
+)
+from repro.obs.prom import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+    wants_prometheus,
+)
+from repro.obs.store import TraceStore, assemble_tree, render_tree
+from repro.obs.trace import (
+    TRACE_HEADER,
+    Span,
+    SpanCollector,
+    TraceContext,
+    attach_engine_spans,
+    collecting,
+    current_collector,
+    current_context,
+    derived_span,
+    span,
+)
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "TRACE_HEADER",
+    "JsonFormatter",
+    "KeyValueFormatter",
+    "LogRing",
+    "RingHandler",
+    "Span",
+    "SpanCollector",
+    "StructuredLogger",
+    "TraceContext",
+    "TraceStore",
+    "assemble_tree",
+    "attach_engine_spans",
+    "collecting",
+    "configure_logging",
+    "current_collector",
+    "current_context",
+    "derived_span",
+    "get_logger",
+    "render_prometheus",
+    "render_tree",
+    "span",
+    "wants_prometheus",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.obs`` — alias for the ``repro-admin`` console."""
+
+import sys
+
+from repro.obs.admin import main
+
+if __name__ == "__main__":
+    sys.exit(main())

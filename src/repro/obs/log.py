@@ -1,0 +1,247 @@
+"""Structured JSON-lines logging with trace correlation.
+
+One logging shape for every serving tier: each record is a flat dict —
+timestamp, level, logger, message, the caller's keyword fields, plus
+``trace_id`` / ``span_id`` lifted from the active
+:class:`~repro.obs.trace.TraceContext` and the process's ``node`` id —
+rendered either as a JSON line (``--log-json``) or a readable
+``key=value`` line.  The same record dicts feed the bounded in-process
+:class:`LogRing` each server/gateway exposes at ``GET /v1/logs``, so a
+fleet's recent logs are tailable remotely without any log shipping.
+
+Built on stdlib ``logging``: :func:`get_logger` wraps a standard
+logger with keyword-field methods (``log.warning("backend down",
+address=...)``), stashing the fields on the record for the formatters
+and the ring handler; third-party/stdlib records flowing through the
+same handlers simply have no extra fields.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import logging
+import threading
+import time
+import traceback
+from collections import deque
+
+from repro.obs.trace import current_context
+
+_FIELDS_ATTR = "repro_fields"
+
+#: Default node id stamped on records (set once per process by
+#: :func:`configure_logging`); embedded servers sharing one process
+#: pass per-record node ids through their own ring handlers instead.
+_NODE_ID: str | None = None
+
+_LEVELS = {"DEBUG": 10, "INFO": 20, "WARNING": 30, "ERROR": 40, "CRITICAL": 50}
+
+
+def set_node_id(node_id: str | None) -> None:
+    global _NODE_ID
+    _NODE_ID = node_id
+
+
+def node_id() -> str | None:
+    return _NODE_ID
+
+
+def record_to_dict(record: logging.LogRecord, node: str | None = None) -> dict:
+    """Flatten a stdlib record into the one structured-log shape."""
+    out: dict = {
+        "ts": record.created,
+        "level": record.levelname,
+        "logger": record.name,
+        "message": record.getMessage(),
+    }
+    resolved_node = node if node is not None else _NODE_ID
+    if resolved_node is not None:
+        out["node"] = resolved_node
+    context = current_context()
+    if context is not None:
+        out["trace_id"] = context.trace_id
+        out["span_id"] = context.span_id
+    fields = getattr(record, _FIELDS_ATTR, None)
+    if fields:
+        for key, value in fields.items():
+            out.setdefault(key, value)
+    if record.exc_info and record.exc_info[0] is not None:
+        buf = io.StringIO()
+        traceback.print_exception(*record.exc_info, file=buf, limit=20)
+        out["exception"] = buf.getvalue().strip()
+    return out
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; non-JSON field values fall back to
+    ``str`` so a stray object can never break the log stream."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        return json.dumps(record_to_dict(record), sort_keys=True, default=str)
+
+
+class KeyValueFormatter(logging.Formatter):
+    """Human-readable default: timestamp, level, message, key=value."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        data = record_to_dict(record)
+        ts = time.strftime("%H:%M:%S", time.localtime(data.pop("ts")))
+        level = data.pop("level")
+        name = data.pop("logger")
+        message = data.pop("message")
+        exception = data.pop("exception", None)
+        suffix = " ".join(f"{k}={data[k]}" for k in data)
+        line = f"{ts} {level:<7} {name} {message}"
+        if suffix:
+            line = f"{line} {suffix}"
+        if exception:
+            line = f"{line}\n{exception}"
+        return line
+
+
+class LogRing:
+    """Bounded, thread-safe ring of recent structured log records.
+
+    The remote-tail store behind ``GET /v1/logs``: appends are O(1),
+    the oldest records fall off past ``capacity``, and ``dropped``
+    keeps the loss observable.
+    """
+
+    def __init__(self, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError("LogRing capacity must be >= 1")
+        self.capacity = capacity
+        self._guard = threading.Lock()
+        self._records: deque[dict] = deque(maxlen=capacity)
+        self._total = 0
+
+    def append(self, record: dict) -> None:
+        with self._guard:
+            self._records.append(record)
+            self._total += 1
+
+    def tail(self, limit: int = 100, level: str | None = None) -> list[dict]:
+        """The newest ``limit`` records (oldest-first), optionally at
+        or above a severity level."""
+        with self._guard:
+            records = list(self._records)
+        if level is not None:
+            floor = _LEVELS.get(level.upper())
+            if floor is not None:
+                records = [
+                    r for r in records if _LEVELS.get(r.get("level"), 0) >= floor
+                ]
+        if limit >= 0:
+            records = records[-limit:]
+        return records
+
+    def info(self) -> dict:
+        with self._guard:
+            return {
+                "capacity": self.capacity,
+                "entries": len(self._records),
+                "total": self._total,
+                "dropped": max(0, self._total - self.capacity),
+            }
+
+    def __len__(self) -> int:
+        with self._guard:
+            return len(self._records)
+
+
+class RingHandler(logging.Handler):
+    """Feeds every record through to a :class:`LogRing` as a dict."""
+
+    def __init__(self, ring: LogRing, node: str | None = None):
+        super().__init__()
+        self.ring = ring
+        self.node = node
+
+    def emit(self, record: logging.LogRecord) -> None:
+        try:
+            self.ring.append(record_to_dict(record, node=self.node))
+        except Exception:  # a broken record must never kill the caller
+            self.handleError(record)
+
+
+class StructuredLogger:
+    """Keyword-field façade over a stdlib logger.
+
+    ``log.warning("backend down", address=addr, failures=3)`` — the
+    message stays a plain string (grep-stable), the fields ride on the
+    record for the JSON formatter and the ring.
+    """
+
+    def __init__(self, logger: logging.Logger):
+        self._logger = logger
+        self.name = logger.name
+
+    def _log(self, level: int, message: str, fields: dict, exc_info=False) -> None:
+        if self._logger.isEnabledFor(level):
+            self._logger.log(
+                level, message, extra={_FIELDS_ATTR: fields}, exc_info=exc_info
+            )
+
+    def debug(self, message: str, **fields) -> None:
+        self._log(logging.DEBUG, message, fields)
+
+    def info(self, message: str, **fields) -> None:
+        self._log(logging.INFO, message, fields)
+
+    def warning(self, message: str, **fields) -> None:
+        self._log(logging.WARNING, message, fields)
+
+    def error(self, message: str, **fields) -> None:
+        self._log(logging.ERROR, message, fields)
+
+    def exception(self, message: str, **fields) -> None:
+        self._log(logging.ERROR, message, fields, exc_info=True)
+
+    def isEnabledFor(self, level: int) -> bool:
+        return self._logger.isEnabledFor(level)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    return StructuredLogger(logging.getLogger(name))
+
+
+def configure_logging(
+    level: str = "INFO",
+    json_mode: bool = False,
+    node: str | None = None,
+    logger_name: str = "repro",
+) -> logging.Logger:
+    """Console-script logging setup (used by ``repro-server`` /
+    ``repro-gateway`` ``--log-level`` / ``--log-json``).
+
+    Configures the ``repro`` logger subtree — not the root logger, so
+    embedding applications keep their own logging — with one stream
+    handler in the chosen format, replacing any handler a previous
+    call installed.
+    """
+    if node is not None:
+        set_node_id(node)
+    logger = logging.getLogger(logger_name)
+    logger.setLevel(_LEVELS.get(level.upper(), logging.INFO))
+    logger.propagate = False
+    for handler in [h for h in logger.handlers if isinstance(h, logging.StreamHandler)]:
+        logger.removeHandler(handler)
+    stream = logging.StreamHandler()
+    stream.setFormatter(JsonFormatter() if json_mode else KeyValueFormatter())
+    logger.addHandler(stream)
+    return logger
+
+
+__all__ = [
+    "JsonFormatter",
+    "KeyValueFormatter",
+    "LogRing",
+    "RingHandler",
+    "StructuredLogger",
+    "configure_logging",
+    "get_logger",
+    "node_id",
+    "record_to_dict",
+    "set_node_id",
+]

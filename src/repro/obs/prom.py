@@ -1,0 +1,181 @@
+"""Prometheus text exposition of the ``/metrics`` JSON snapshots.
+
+``/metrics`` stays JSON by default; a scraper asking with ``Accept:
+text/plain`` (or ``?format=prometheus``) gets the same snapshot in the
+`text exposition format`_ version 0.0.4 — so the fleet is scrapeable
+by stock Prometheus without the servers taking any dependency.
+
+The renderer is driven by the snapshot's shape, with two structural
+rules and a handful of labelled sections:
+
+- a dict carrying ``buckets``/``count``/``sum_seconds`` (the repo's
+  :class:`~repro.server.metrics.LatencyHistogram` ``to_dict`` shape)
+  becomes a Prometheus histogram — note the conversion: the repo
+  stores *per-bucket* counts, the exposition format wants
+  *cumulative* ``le`` counts;
+- any other numeric leaf becomes a gauge named by its dotted path.
+
+Dict sections whose keys are identities rather than schema (latency
+per method, forward latency and snapshots per backend, planner picks,
+responses per status) render those keys as label values — escaped per
+the format's rules (backslash, double quote, newline).
+
+.. _text exposition format:
+   https://prometheus.io/docs/instrumenting/exposition_formats/
+"""
+
+from __future__ import annotations
+
+import re
+from collections.abc import Mapping
+
+_NAME_CLEAN = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: Snapshot sections whose immediate keys are label values, not metric
+#: name parts: ``section path -> label name``.
+_LABELLED_SECTIONS = {
+    ("latency",): "method",
+    ("forward_latency",): "backend",
+    ("backends",): "backend",
+    ("http", "responses_by_status"): "status",
+    ("planner", "picks"): "method",
+    ("fleet", "planner", "picks"): "method",
+    ("fleet", "http", "responses_by_status"): "status",
+}
+
+
+def escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def metric_name(parts: tuple[str, ...]) -> str:
+    name = "_".join(_NAME_CLEAN.sub("_", str(p)) for p in parts)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _format_labels(labels: dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{escape_label_value(value)}"' for key, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _is_histogram(value: Mapping) -> bool:
+    return "buckets" in value and "count" in value and "sum_seconds" in value
+
+
+def _emit_histogram(
+    lines: list[str], name: str, labels: dict[str, str], hist: Mapping
+) -> None:
+    cumulative = 0
+    # The snapshot's buckets are per-bucket counts keyed by upper
+    # bound (insertion-ordered ascending, "+inf" last); the exposition
+    # format wants cumulative counts per ``le``.
+    for bound, count in hist["buckets"].items():
+        cumulative += count
+        le = "+Inf" if bound == "+inf" else bound
+        lines.append(
+            f"{name}_bucket{_format_labels({**labels, 'le': le})}"
+            f" {cumulative}"
+        )
+    lines.append(f"{name}_count{_format_labels(labels)} {hist['count']}")
+    lines.append(
+        f"{name}_sum{_format_labels(labels)} {_format_value(hist['sum_seconds'])}"
+    )
+    for quantile_key in ("p50_seconds", "p99_seconds", "max_seconds"):
+        if quantile_key in hist:
+            lines.append(
+                f"{name}_{quantile_key}{_format_labels(labels)}"
+                f" {_format_value(hist[quantile_key])}"
+            )
+
+
+def _walk(
+    lines: list[str],
+    path: tuple[str, ...],
+    section: tuple[str, ...],
+    labels: dict[str, str],
+    value,
+    prefix: str,
+) -> None:
+    if isinstance(value, Mapping):
+        if _is_histogram(value):
+            _emit_histogram(lines, f"{prefix}_{metric_name(path)}", labels, value)
+            return
+        label_name = _LABELLED_SECTIONS.get(section)
+        for key, child in value.items():
+            if label_name is not None:
+                _walk(
+                    lines,
+                    path,
+                    section + (key,),
+                    {**labels, label_name: str(key)},
+                    child,
+                    prefix,
+                )
+            else:
+                _walk(
+                    lines,
+                    path + (str(key),),
+                    section + (str(key),),
+                    labels,
+                    child,
+                    prefix,
+                )
+        return
+    if isinstance(value, (int, float, bool)) and not isinstance(value, str):
+        name = f"{prefix}_{metric_name(path)}" if path else prefix
+        lines.append(f"{name}{_format_labels(labels)} {_format_value(value)}")
+    # Strings / None / lists have no numeric reading; skipped.
+
+
+def render_prometheus(snapshot: Mapping, prefix: str = "repro") -> str:
+    """The text exposition document for one ``/metrics`` snapshot."""
+    lines: list[str] = []
+    # When a labelled section sits under another labelled section
+    # (gateway ``backends.{addr}.{...}`` snapshots hold plain leaves),
+    # the per-status/per-pick label lookup uses the *section* path with
+    # label keys removed — handled by keeping ``section`` as the raw
+    # key path and matching prefixes:
+    for key, value in snapshot.items():
+        _walk(lines, (str(key),), (str(key),), {}, value, prefix)
+    return "\n".join(lines) + "\n"
+
+
+def wants_prometheus(request) -> bool:
+    """Content negotiation for ``/metrics``: explicit ``?format=``
+    wins; otherwise an ``Accept`` header preferring ``text/plain``."""
+    fmt = request.query.get("format")
+    if fmt is not None:
+        return fmt.lower() in ("prometheus", "text")
+    accept = request.headers.get("accept", "")
+    return "text/plain" in accept and "application/json" not in accept
+
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+__all__ = [
+    "PROMETHEUS_CONTENT_TYPE",
+    "escape_label_value",
+    "metric_name",
+    "render_prometheus",
+    "wants_prometheus",
+]

@@ -1,0 +1,274 @@
+"""Trace context + spans: follow one solve across every tier.
+
+A *trace* is one logical request — a client solve, a gateway forward
+chain, the engine run it lands on — identified by a 32-hex ``trace_id``.
+Each timed unit of work inside it is a *span* (16-hex ``span_id``)
+pointing at its parent span, so the pieces reassemble into a tree even
+when they were recorded by different processes.
+
+The context crosses boundaries two ways:
+
+- **in-process** — a :mod:`contextvars` pair: the current
+  :class:`TraceContext` (what a new span becomes a child of) and the
+  active :class:`SpanCollector` (where finished spans are published).
+  ``contextvars`` propagate through ``asyncio`` task creation and
+  ``asyncio.to_thread``; crossing a bare ``ThreadPoolExecutor.submit``
+  needs an explicit ``contextvars.copy_context().run`` (the session
+  facade does this for its solve pool).
+- **over the wire** — the ``X-Repro-Trace: {trace_id}:{span_id}``
+  header.  :class:`~repro.server.client.Client` attaches it on every
+  request and the serving layers adopt it as the root span's parent,
+  so a gateway forward (and its failover re-forwards) become child
+  spans of the caller's request span.
+
+Publishing is collector-gated: without an active collector a span
+still times its block and maintains the context (so headers stay
+coherent), but nothing is retained — the no-observer cost is one
+``urandom`` id read and two ``perf_counter`` reads per span.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import os
+import re
+import threading
+import time
+from dataclasses import dataclass, field
+
+#: The wire header carrying ``{trace_id}:{span_id}``.
+TRACE_HEADER = "X-Repro-Trace"
+
+_HEADER_RE = re.compile(r"^([0-9a-f]{32}):([0-9a-f]{16})$")
+
+
+# Raw urandom hex, not uuid4: ids only need uniqueness, and skipping
+# the UUID object construction roughly halves the per-span cost on the
+# request hot path.
+def new_trace_id() -> str:
+    return os.urandom(16).hex()
+
+
+def new_span_id() -> str:
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True, slots=True)
+class TraceContext:
+    """The propagated pair: which trace, which span to parent under."""
+
+    trace_id: str
+    span_id: str
+
+    def header(self) -> str:
+        return f"{self.trace_id}:{self.span_id}"
+
+    @classmethod
+    def parse(cls, value: str | None) -> "TraceContext | None":
+        """Parse a wire header; malformed or absent values yield
+        ``None`` (a fresh trace starts rather than an error — trace
+        plumbing must never fail a request)."""
+        if not value:
+            return None
+        match = _HEADER_RE.match(value.strip())
+        if match is None:
+            return None
+        return cls(trace_id=match.group(1), span_id=match.group(2))
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed unit of work inside a trace."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str
+    #: Wall-clock start (``time.time()``), for cross-process ordering.
+    started: float
+    duration_seconds: float | None = None
+    status: str = "ok"
+    error: str | None = None
+    attributes: dict = field(default_factory=dict)
+    #: Stamped by the recording :class:`~repro.obs.store.TraceStore`
+    #: with its owner's node id, so stitched trees show where each
+    #: span ran.
+    node: str | None = None
+
+    def to_dict(self) -> dict:
+        out = {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "started": self.started,
+            "duration_seconds": self.duration_seconds,
+            "status": self.status,
+            "node": self.node,
+        }
+        if self.error is not None:
+            out["error"] = self.error
+        if self.attributes:
+            out["attributes"] = dict(self.attributes)
+        return out
+
+
+class SpanCollector:
+    """Thread-safe sink for the finished spans of one request.
+
+    One collector is installed per served request; spans finishing on
+    session pool threads (the context was copied there) publish into
+    the same object, hence the lock.
+    """
+
+    def __init__(self) -> None:
+        self._guard = threading.Lock()
+        self._spans: list[Span] = []
+
+    def add(self, span: Span) -> None:
+        with self._guard:
+            self._spans.append(span)
+
+    @property
+    def spans(self) -> list[Span]:
+        with self._guard:
+            return list(self._spans)
+
+    def __len__(self) -> int:
+        with self._guard:
+            return len(self._spans)
+
+
+_context: contextvars.ContextVar[TraceContext | None] = contextvars.ContextVar(
+    "repro_trace_context", default=None
+)
+_collector: contextvars.ContextVar[SpanCollector | None] = contextvars.ContextVar(
+    "repro_span_collector", default=None
+)
+
+
+def current_context() -> TraceContext | None:
+    return _context.get()
+
+
+def current_collector() -> SpanCollector | None:
+    return _collector.get()
+
+
+@contextlib.contextmanager
+def collecting(collector: SpanCollector, parent: TraceContext | None = None):
+    """Install ``collector`` (and optionally a wire-derived parent
+    context) for the duration of a request's handling."""
+    collector_token = _collector.set(collector)
+    context_token = _context.set(parent) if parent is not None else None
+    try:
+        yield collector
+    finally:
+        if context_token is not None:
+            _context.reset(context_token)
+        _collector.reset(collector_token)
+
+
+class span:
+    """Time a block as a span of the current trace.
+
+    Starts a fresh trace when no context exists (this is what
+    "generated at Client / AssignmentSession entry" means in practice:
+    the first span on a bare call path mints the trace id).  The span
+    becomes the current context inside the block, so nested spans and
+    outbound requests parent under it.  Exceptions mark the span
+    ``status="error"`` and re-raise.
+
+    A hand-rolled context manager, not ``@contextlib.contextmanager``:
+    spans wrap every request and every engine phase, and skipping the
+    generator trampoline roughly halves the per-span cost.
+    """
+
+    __slots__ = ("_name", "_attributes", "_span", "_token", "_clock_start")
+
+    def __init__(self, name: str, **attributes):
+        self._name = name
+        self._attributes = attributes
+
+    def __enter__(self) -> Span:
+        parent = _context.get()
+        trace_id = parent.trace_id if parent is not None else new_trace_id()
+        s = Span(
+            trace_id=trace_id,
+            span_id=new_span_id(),
+            parent_id=parent.span_id if parent is not None else None,
+            name=self._name,
+            started=time.time(),
+            attributes=self._attributes,
+        )
+        self._span = s
+        self._token = _context.set(TraceContext(trace_id, s.span_id))
+        self._clock_start = time.perf_counter()
+        return s
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        s = self._span
+        s.duration_seconds = time.perf_counter() - self._clock_start
+        if exc is not None:
+            s.status = "error"
+            s.error = f"{type(exc).__name__}: {exc}"
+        _context.reset(self._token)
+        sink = _collector.get()
+        if sink is not None:
+            sink.add(s)
+        return False
+
+
+def derived_span(parent: Span, name: str, duration_seconds: float, **attributes):
+    """Publish a child span reconstructed from already-measured timing
+    (the engine's phase accumulators) rather than a live block.
+
+    Derived spans share their parent's start time — phase accumulators
+    sum disjoint slices of the parent, not a contiguous interval — and
+    are marked ``attributes["derived"]=True`` so renderers can say so.
+    """
+    sink = _collector.get()
+    if sink is None:
+        return None
+    s = Span(
+        trace_id=parent.trace_id,
+        span_id=new_span_id(),
+        parent_id=parent.span_id,
+        name=name,
+        started=parent.started,
+        duration_seconds=duration_seconds,
+        attributes={"derived": True, **attributes},
+    )
+    sink.add(s)
+    return s
+
+
+def attach_engine_spans(parent: Span, stats) -> None:
+    """Fan a :class:`~repro.core.types.RunStats` out under an
+    ``engine.solve`` span: one derived child per round-loop phase, and
+    the paper's counters (I/O accesses, loops) as span attributes."""
+    if stats is None:
+        return
+    parent.attributes.setdefault("io_accesses", stats.io.physical_reads)
+    parent.attributes.setdefault("logical_reads", stats.io.logical_reads)
+    parent.attributes.setdefault("loops", stats.loops)
+    parent.attributes.setdefault("engine_cpu_seconds", stats.cpu_seconds)
+    for phase_name, seconds in getattr(stats, "phases", {}).items():
+        derived_span(parent, f"engine.{phase_name}", seconds)
+
+
+__all__ = [
+    "TRACE_HEADER",
+    "Span",
+    "SpanCollector",
+    "TraceContext",
+    "attach_engine_spans",
+    "collecting",
+    "current_collector",
+    "current_context",
+    "derived_span",
+    "new_span_id",
+    "new_trace_id",
+    "span",
+]

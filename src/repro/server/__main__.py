@@ -8,8 +8,8 @@ job) parse the announcement line rather than guessing.
 from __future__ import annotations
 
 import argparse
-import logging
 
+from repro.obs.log import configure_logging
 from repro.server.app import ReproServer, ServerConfig
 
 
@@ -56,14 +56,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-level", default="INFO",
         choices=["DEBUG", "INFO", "WARNING", "ERROR"],
     )
+    parser.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON-lines logs instead of key=value text",
+    )
+    parser.add_argument(
+        "--no-observability", action="store_true",
+        help="disable request tracing and trace retention",
+    )
+    parser.add_argument(
+        "--slow-trace-threshold", type=float, default=0.25,
+        help=(
+            "requests at or over this wall time (seconds) are pinned in "
+            "the slow-trace store with their planner transcript"
+        ),
+    )
+    parser.add_argument(
+        "--log-ring-size", type=int, default=512,
+        help="recent log records retained for GET /v1/logs",
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> None:
     args = build_parser().parse_args(argv)
-    logging.basicConfig(
-        level=getattr(logging, args.log_level),
-        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    configure_logging(
+        level=args.log_level,
+        json_mode=args.log_json,
+        node=f"{args.host}:{args.port}" if args.port else args.host,
     )
     config = ServerConfig(
         host=args.host,
@@ -75,6 +95,9 @@ def main(argv: list[str] | None = None) -> None:
         solution_cache_size=args.solution_cache_size,
         index_cache_size=args.index_cache_size,
         retry_after_seconds=args.retry_after,
+        observability=not args.no_observability,
+        slow_trace_threshold_seconds=args.slow_trace_threshold,
+        log_ring_size=args.log_ring_size,
     )
     server = ReproServer(config)
 

@@ -26,6 +26,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import dataclasses
+import json
 import logging
 import threading
 import time
@@ -43,6 +44,20 @@ from repro.errors import (
     ReproError,
     SerdeError,
     UnknownSolverError,
+)
+from repro.obs.log import LogRing, RingHandler, get_logger
+from repro.obs.prom import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+    wants_prometheus,
+)
+from repro.obs.store import TraceStore
+from repro.obs.trace import (
+    TRACE_HEADER,
+    SpanCollector,
+    TraceContext,
+    collecting,
+    span,
 )
 from repro.server.cache import SolutionCache
 from repro.server.http import (
@@ -63,7 +78,25 @@ from repro.server.metrics import ServerMetrics
 from repro.server.router import Router
 from repro.service.pool import check_executor
 
-log = logging.getLogger("repro.server")
+log = get_logger("repro.server")
+
+#: Paths outside the trace pipeline: probe/scrape traffic would churn
+#: the trace store, and the observability endpoints must not trace
+#: themselves.
+_UNTRACED_PREFIXES = ("/healthz", "/metrics", "/v1/traces", "/v1/logs")
+
+#: Read-only paths whose GETs skip tracing: async-job status polls
+#: arrive tens of times per solve, so tracing them would both dominate
+#: the per-request overhead and evict the solve traces an operator
+#: actually wants from the recent store.  The job's own ``job.solve``
+#: trace (recorded by the pump) is the inspectable artifact.
+_UNTRACED_GET_PREFIXES = ("/v1/jobs",)
+
+
+def _is_traced(method: str, path: str) -> bool:
+    if path.startswith(_UNTRACED_PREFIXES):
+        return False
+    return not (method == "GET" and path.startswith(_UNTRACED_GET_PREFIXES))
 
 _BAD_REQUEST_ERRORS = (
     SerdeError,
@@ -120,6 +153,18 @@ class ServerConfig:
     #: catalogue + cohort); an evicted id 404s and the client simply
     #: re-registers — registration is idempotent by content digest.
     problem_registry_size: int = 4096
+    #: Master switch for request tracing + trace retention (structured
+    #: logging and the log ring stay on; they replace plain logging).
+    observability: bool = True
+    #: Requests at or over this wall time are pinned in the slow-trace
+    #: store (the slow-solve log) with their planner transcript.
+    slow_trace_threshold_seconds: float = 0.25
+    #: LRU bound of the recent-trace store.
+    trace_store_size: int = 256
+    #: LRU bound of the pinned slow-trace store.
+    slow_trace_store_size: int = 64
+    #: Bounded in-process log ring served at ``GET /v1/logs``.
+    log_ring_size: int = 512
 
 
 class ReproServer:
@@ -142,6 +187,14 @@ class ReproServer:
         self._tcp: asyncio.Server | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop_event: asyncio.Event | None = None
+        self._traces = TraceStore(
+            recent_size=self.config.trace_store_size,
+            slow_size=self.config.slow_trace_store_size,
+            slow_threshold_seconds=self.config.slow_trace_threshold_seconds,
+        )
+        self._log_ring = LogRing(self.config.log_ring_size)
+        self._ring_handler: RingHandler | None = None
+        self._node: str | None = None
         self._router = self._build_router()
 
     @staticmethod
@@ -165,6 +218,12 @@ class ReproServer:
             raise ValueError("read_timeout_seconds must be > 0 (or None)")
         if config.max_body_bytes < 1:
             raise ValueError("max_body_bytes must be >= 1")
+        if config.slow_trace_threshold_seconds < 0:
+            raise ValueError("slow_trace_threshold_seconds must be >= 0")
+        if config.trace_store_size < 1 or config.slow_trace_store_size < 1:
+            raise ValueError("trace store sizes must be >= 1")
+        if config.log_ring_size < 1:
+            raise ValueError("log_ring_size must be >= 1")
 
     # -- routing -------------------------------------------------------
 
@@ -180,6 +239,9 @@ class ReproServer:
         router.add("GET", "/v1/jobs/{jid}", self._get_job)
         router.add("GET", "/v1/jobs/{jid}/solution", self._get_job_solution)
         router.add("GET", "/v1/diff", self._diff_jobs)
+        router.add("GET", "/v1/traces", self._list_traces)
+        router.add("GET", "/v1/traces/{tid}", self._get_trace)
+        router.add("GET", "/v1/logs", self._get_logs)
         return router
 
     # -- problem registry / session ------------------------------------
@@ -284,6 +346,18 @@ class ReproServer:
     async def _solve(self, problem: Problem) -> tuple[Solution, bool, float]:
         """``(solution, served_from_cache, seconds)`` — cache lookup,
         single-flight coalescing, then the session's thread pool."""
+        with span("solve.execute", method=problem.method) as solve_span:
+            solution, hit, elapsed = await self._solve_inner(problem)
+            solve_span.attributes["cache_hit"] = hit
+            solve_span.attributes["resolved_method"] = solution.method
+            if solution.plan is not None:
+                # Slow traces pin this record, so the planner transcript
+                # stays inspectable; the store lifts it off the span
+                # into the record.
+                solve_span.attributes["plan_explain"] = solution.explain()
+            return solution, hit, elapsed
+
+    async def _solve_inner(self, problem: Problem) -> tuple[Solution, bool, float]:
         key = problem.solve_key()  # plans method="auto" (memoized)
         start = time.perf_counter()
         pending = self._inflight.get(key)
@@ -292,10 +366,13 @@ class ReproServer:
             # cache so followers don't register spurious misses).
             # Shield: a client disconnect cancelling this awaiter must
             # not cancel the shared solve.
-            solution = await asyncio.shield(pending)
+            with span("solve.coalesce"):
+                solution = await asyncio.shield(pending)
             elapsed = time.perf_counter() - start
             return self._finalize_solve(problem, solution, True, elapsed), True, elapsed
-        solution = self._solutions.get(key)
+        with span("cache.lookup") as cache_span:
+            solution = self._solutions.get(key)
+            cache_span.attributes["cache_hit"] = solution is not None
         if solution is not None:
             elapsed = time.perf_counter() - start
             return self._finalize_solve(problem, solution, True, elapsed), True, elapsed
@@ -378,20 +455,35 @@ class ReproServer:
             if self._session is not None
             else {"hits": 0, "misses": 0, "entries": 0}
         )
-        return Response.json(
-            self._metrics.snapshot(
-                queue=self._admission.info(),
-                solution_cache=self._solutions.info(),
-                index_cache=index_info,
-            )
+        snapshot = self._metrics.snapshot(
+            queue=self._admission.info(),
+            solution_cache=self._solutions.info(),
+            index_cache=index_info,
         )
+        snapshot["traces"] = self._traces.info()
+        snapshot["log_ring"] = self._log_ring.info()
+        if wants_prometheus(request):
+            return Response(
+                body=render_prometheus(snapshot).encode("utf-8"),
+                content_type=PROMETHEUS_CONTENT_TYPE,
+            )
+        return Response.json(snapshot)
 
     async def _register_endpoint(self, request: Request) -> Response:
         payload = request.json()
         if payload is None:
             raise SerdeError("problem registration needs a JSON body")
-        problem = Problem.from_dict(payload)
-        problem_id, created = self._register(problem)
+        with span("problem.register") as register_span:
+            problem = Problem.from_dict(payload)
+            problem_id, created = self._register(problem)
+            register_span.attributes["created"] = created
+        if created:
+            log.info(
+                "problem registered",
+                problem_id=problem_id,
+                objects=len(problem.objects),
+                functions=len(problem.functions),
+            )
         return Response.json(
             {
                 "problem_id": problem_id,
@@ -497,6 +589,36 @@ class ReproServer:
             }
         )
 
+    # -- observability endpoints ---------------------------------------
+
+    async def _list_traces(self, request: Request) -> Response:
+        try:
+            limit = int(request.query.get("limit", "50"))
+        except ValueError:
+            raise SerdeError("'limit' must be an integer") from None
+        return Response.json(
+            {"traces": self._traces.recent(limit), "info": self._traces.info()}
+        )
+
+    async def _get_trace(self, request: Request, tid: str) -> Response:
+        record = self._traces.get(tid)
+        if record is None:
+            raise _NotFound(f"unknown trace {tid!r}")
+        return Response.json(record)
+
+    async def _get_logs(self, request: Request) -> Response:
+        try:
+            limit = int(request.query.get("limit", "100"))
+        except ValueError:
+            raise SerdeError("'limit' must be an integer") from None
+        level = request.query.get("level")
+        return Response.json(
+            {
+                "entries": self._log_ring.tail(limit, level),
+                "ring": self._log_ring.info(),
+            }
+        )
+
     # -- job pump ------------------------------------------------------
 
     async def _drain_jobs(self) -> None:
@@ -505,7 +627,7 @@ class ReproServer:
             job = await self._queue.get()
             try:
                 job.mark_running()
-                solution, hit, seconds = await self._solve(job.problem)
+                solution, hit, seconds = await self._run_job_traced(job)
                 # One atomic publish: solution / wall_seconds /
                 # finished_at land before status flips to "done", so a
                 # concurrent poll never sees done-without-solution.
@@ -518,14 +640,96 @@ class ReproServer:
                 job.fail(f"{type(exc).__name__}: {exc}")
                 self._metrics.jobs_failed += 1
                 if not isinstance(exc, ReproError):
-                    log.exception("job %s failed", job.job_id)
+                    log.exception("job failed", job_id=job.job_id)
             finally:
                 self._admission.release()
                 self._queue.task_done()
 
+    async def _run_job_traced(self, job: Job) -> tuple[Solution, bool, float]:
+        """Async jobs solve outside any request's context, so each gets
+        its own trace — ``repro-admin trace`` shows per-phase engine
+        timings for pumped jobs exactly as for synchronous solves."""
+        if not self.config.observability:
+            return await self._solve(job.problem)
+        collector = SpanCollector()
+        try:
+            with collecting(collector):
+                with span("job.solve", job_id=job.job_id) as root:
+                    return await self._solve(job.problem)
+        finally:
+            spans = collector.spans
+            extra = {}
+            for s in spans:
+                explain = s.attributes.pop("plan_explain", None)
+                if explain is not None:
+                    extra["plan_explain"] = explain
+            record = self._traces.record(
+                root, spans, node=self._node, extra=extra or None
+            )
+            if record["slow"]:
+                log.warning(
+                    "slow job",
+                    job_id=job.job_id,
+                    trace_id=root.trace_id,
+                    duration_ms=round(record["duration_seconds"] * 1000, 2),
+                )
+
     # -- connection handling -------------------------------------------
 
     async def _dispatch(self, request: Request) -> Response:
+        if not self.config.observability or not _is_traced(
+            request.method, request.path
+        ):
+            return await self._dispatch_inner(request)
+        parent = TraceContext.parse(request.headers.get("x-repro-trace"))
+        collector = SpanCollector()
+        with collecting(collector, parent=parent):
+            with span(
+                "server.request", method=request.method, path=request.path
+            ) as root:
+                response = await self._dispatch_inner(request)
+                root.attributes["status"] = response.status
+                if response.status >= 500:
+                    root.status = "error"
+                    root.error = f"HTTP {response.status}"
+        response = self._stamp_trace(response, root.trace_id, root.span_id)
+        spans = collector.spans
+        extra = {}
+        for s in spans:
+            explain = s.attributes.pop("plan_explain", None)
+            if explain is not None:
+                extra["plan_explain"] = explain
+        record = self._traces.record(root, spans, node=self._node, extra=extra or None)
+        if record["slow"]:
+            log.warning(
+                "slow request",
+                method=request.method,
+                path=request.path,
+                trace_id=root.trace_id,
+                duration_ms=round(record["duration_seconds"] * 1000, 2),
+            )
+        return response
+
+    @staticmethod
+    def _stamp_trace(response: Response, trace_id: str, span_id: str) -> Response:
+        """Echo the trace on the response: the header on every reply,
+        and ``trace_id`` inside JSON error envelopes so a failure
+        report carries its trace handle even through clients that drop
+        headers."""
+        response.headers[TRACE_HEADER] = f"{trace_id}:{span_id}"
+        if response.status >= 400 and response.content_type == "application/json":
+            try:
+                payload = json.loads(response.body)
+            except ValueError:
+                return response
+            if isinstance(payload, dict) and "trace_id" not in payload:
+                payload["trace_id"] = trace_id
+                response.body = (
+                    json.dumps(payload, sort_keys=True) + "\n"
+                ).encode("utf-8")
+        return response
+
+    async def _dispatch_inner(self, request: Request) -> Response:
         routed = self._router.dispatch(request)
         if isinstance(routed, Response):
             response = routed
@@ -542,7 +746,11 @@ class ReproServer:
             except asyncio.CancelledError:
                 raise
             except Exception:
-                log.exception("unhandled error in %s %s", request.method, request.path)
+                log.exception(
+                    "unhandled request error",
+                    method=request.method,
+                    path=request.path,
+                )
                 response = Response.error(500, "internal server error")
         self._metrics.record_response(response.status)
         return response
@@ -602,6 +810,25 @@ class ReproServer:
             self._handle_connection, self.config.host, self.config.port
         )
         self.port = self._tcp.sockets[0].getsockname()[1]
+        # Node identity (host:bound-port) is per-server, not
+        # per-process: embedded servers and gateways can share one
+        # process, so the ring handler and trace store stamp records
+        # with their owner's identity at record time.
+        self._node = f"{self.config.host}:{self.port}"
+        self._ring_handler = RingHandler(self._log_ring, node=self._node)
+        repro_logger = logging.getLogger("repro")
+        repro_logger.addHandler(self._ring_handler)
+        # Embedded servers run without configure_logging(); the ring
+        # still captures INFO-level operational events (the last-resort
+        # console handler stays WARNING+, so stdout is unchanged).
+        if repro_logger.getEffectiveLevel() > logging.INFO:
+            repro_logger.setLevel(logging.INFO)
+        log.info(
+            "server started",
+            node=self._node,
+            executor=self.config.executor,
+            observability=self.config.observability,
+        )
 
     async def stop(self) -> None:
         if self._tcp is not None:
@@ -619,6 +846,9 @@ class ReproServer:
         if self._session is not None:
             await asyncio.to_thread(self._session.close)
             self._session = None
+        if self._ring_handler is not None:
+            logging.getLogger("repro").removeHandler(self._ring_handler)
+            self._ring_handler = None
 
     def request_stop(self) -> None:
         """Thread-safe shutdown signal (used by :class:`ServerHandle`)."""

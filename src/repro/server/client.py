@@ -26,6 +26,7 @@ import time
 from repro.api.problem import Problem
 from repro.api.solution import Solution
 from repro.errors import ServerBusyError, ServerError, ServerUnavailableError
+from repro.obs.trace import TRACE_HEADER, current_context, span
 
 #: Statuses whose ``Retry-After`` the polite-retry loop honours.
 _RETRYABLE = (ServerBusyError, ServerUnavailableError)
@@ -69,6 +70,10 @@ class Client:
         # Problems this client has registered, for re-attaching to
         # solutions so ``.verify()`` works without another fetch.
         self._known: dict[str, Problem] = {}
+        #: Trace id the server echoed on the most recent response from
+        #: this thread's connection (``X-Repro-Trace``), for feeding
+        #: ``repro-admin trace`` after an interesting call.
+        self.last_trace_id: str | None = None
 
     # -- transport -----------------------------------------------------
 
@@ -119,8 +124,20 @@ class Client:
         503 → :class:`ServerUnavailableError`).  Reconnects once,
         transparently, when a keep-alive connection went stale.
         """
+        with span(
+            "http.request",
+            method=method,
+            path=path,
+            backend=f"{self.host}:{self.port}",
+        ):
+            return self._round_trip(method, path, payload)
+
+    def _round_trip(self, method: str, path: str, payload):
         body = None
-        headers = {}
+        # ``span`` above guarantees a current context, so every request
+        # carries the trace header — the server adopts it as its root
+        # span's parent and the trees stitch across the wire.
+        headers = {TRACE_HEADER: current_context().header()}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
@@ -145,26 +162,35 @@ class Client:
                     raise
         if response.will_close:
             self._drop_conn()
+        echoed = response.headers.get(TRACE_HEADER)
+        trace_id = echoed.partition(":")[0] if echoed else None
+        if trace_id:
+            self.last_trace_id = trace_id
+        trace_suffix = f" [trace {trace_id}]" if trace_id else ""
         decoded = None
         if data:
             try:
                 decoded = json.loads(data)
             except ValueError as exc:
                 raise ServerError(
-                    f"non-JSON response body from {method} {path}: {exc}",
+                    f"non-JSON response body from {method} {path}: {exc}"
+                    f"{trace_suffix}",
                     status=response.status,
+                    trace_id=trace_id,
                 ) from exc
         if response.status == 429:
             raise ServerBusyError(
-                (decoded or {}).get("error", "server busy"),
+                (decoded or {}).get("error", "server busy") + trace_suffix,
                 retry_after=_retry_after_seconds(response),
                 payload=decoded,
+                trace_id=trace_id,
             )
         if response.status == 503:
             raise ServerUnavailableError(
-                (decoded or {}).get("error", "service unavailable"),
+                (decoded or {}).get("error", "service unavailable") + trace_suffix,
                 retry_after=_retry_after_seconds(response),
                 payload=decoded,
+                trace_id=trace_id,
             )
         if response.status >= 400:
             message = (
@@ -172,7 +198,12 @@ class Client:
                 if isinstance(decoded, dict) and "error" in decoded
                 else f"{method} {path} -> HTTP {response.status}"
             )
-            raise ServerError(message, status=response.status, payload=decoded)
+            raise ServerError(
+                message + trace_suffix,
+                status=response.status,
+                payload=decoded,
+                trace_id=trace_id,
+            )
         return response.status, decoded
 
     # Historical private name; the protocol methods below and a few

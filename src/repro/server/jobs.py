@@ -15,15 +15,15 @@ oldest *finished* records are dropped first, live ones never.
 from __future__ import annotations
 
 import itertools
-import logging
 import threading
 import time
 from dataclasses import dataclass, field
 
 from repro.api.problem import Problem
 from repro.api.solution import Solution
+from repro.obs.log import get_logger
 
-log = logging.getLogger("repro.server")
+log = get_logger("repro.server")
 
 QUEUED = "queued"
 RUNNING = "running"
@@ -62,8 +62,8 @@ class AdmissionController:
                 self.underflows += 1
                 log.warning(
                     "AdmissionController.release() without a matching "
-                    "acquire (clamped at 0; underflows=%d)",
-                    self.underflows,
+                    "acquire (clamped at 0)",
+                    underflows=self.underflows,
                 )
                 return
             self.depth -= 1

@@ -40,6 +40,7 @@ from repro.core import solve
 from repro.core.index import ObjectIndex, build_object_index
 from repro.core.types import AssignmentResult
 from repro.data.instances import FunctionSet, ObjectSet
+from repro.obs.trace import attach_engine_spans, span
 from repro.planner import AUTO_METHOD, Plan, plan_instance
 
 
@@ -341,10 +342,14 @@ class BatchSolver:
         # Resolve the plan *before* the index-mode choice: the engine
         # must see exactly what a direct invocation of the resolved
         # method would see (index backend included).
-        resolved = job.resolve()
-        index, run_lock, hit = self.cache.get(
-            job.objects, job.page_size, job.wants_memory_index
-        )
+        with span("plan.resolve") as plan_span:
+            resolved = job.resolve()
+            plan_span.attributes["method"] = resolved.method_name
+        with span("index.lookup") as index_span:
+            index, run_lock, hit = self.cache.get(
+                job.objects, job.page_size, job.wants_memory_index
+            )
+            index_span.attributes["cache_hit"] = hit
         with run_lock:
             with self._concurrency_guard:
                 self._in_flight += 1
@@ -353,10 +358,12 @@ class BatchSolver:
                 )
             try:
                 index.reset_for_run(buffer_fraction=job.buffer_fraction)
-                result = solve(
-                    job.functions, index, method=resolved.method,
-                    **resolved.solve_kwargs,
-                )
+                with span("engine.solve", method=resolved.method_name) as solve_span:
+                    result = solve(
+                        job.functions, index, method=resolved.method,
+                        **resolved.solve_kwargs,
+                    )
+                    attach_engine_spans(solve_span, result.stats)
             finally:
                 with self._concurrency_guard:
                     self._in_flight -= 1

@@ -39,7 +39,6 @@ child, which multiprocessing seeds with the parent's ``sys.path``.
 
 from __future__ import annotations
 
-import logging
 import multiprocessing
 import os
 import threading
@@ -52,6 +51,15 @@ from dataclasses import dataclass
 from repro.core import solve
 from repro.core.types import AssignmentResult
 from repro.data.instances import FunctionSet, ObjectSet
+from repro.obs.log import get_logger
+from repro.obs.trace import (
+    SpanCollector,
+    TraceContext,
+    attach_engine_spans,
+    collecting,
+    current_context,
+    span,
+)
 from repro.service.batch import (
     JobResult,
     ObjectIndexCache,
@@ -60,7 +68,7 @@ from repro.service.batch import (
     object_set_fingerprint,
 )
 
-log = logging.getLogger("repro.service")
+log = get_logger("repro.service")
 
 EXECUTORS = ("thread", "process")
 
@@ -110,7 +118,7 @@ def job_to_payload(job: SolveJob, resolved: ResolvedJob | None = None) -> dict:
     if resolved is None:
         resolved = job.resolve()
     objects, functions = job.objects, job.functions
-    return {
+    payload = {
         "objects": {
             "points": [list(p) for p in objects.points],
             "capacities": (
@@ -140,6 +148,15 @@ def job_to_payload(job: SolveJob, resolved: ResolvedJob | None = None) -> dict:
             "buffer_fraction": job.buffer_fraction,
         },
     }
+    # The active trace context (ids only) crosses with the job, so
+    # worker-side log records correlate with the parent's trace.
+    context = current_context()
+    if context is not None:
+        payload["trace"] = {
+            "trace_id": context.trace_id,
+            "span_id": context.span_id,
+        }
+    return payload
 
 
 # ---------------------------------------------------------------------------
@@ -166,6 +183,22 @@ def solve_payload(payload: dict) -> tuple[AssignmentResult, bool]:
     global _WORKER_CACHE
     if _WORKER_CACHE is None:  # direct call outside a pool (tests)
         _WORKER_CACHE = ObjectIndexCache()
+    trace_section = payload.get("trace")
+    if trace_section is not None:
+        # Adopt the parent's trace ids so worker-side log records
+        # correlate; worker spans stay local (the result's RunStats
+        # phases carry the timings back instead).
+        with collecting(
+            SpanCollector(),
+            parent=TraceContext(
+                trace_section["trace_id"], trace_section["span_id"]
+            ),
+        ):
+            return _solve_payload_inner(payload)
+    return _solve_payload_inner(payload)
+
+
+def _solve_payload_inner(payload: dict) -> tuple[AssignmentResult, bool]:
     objects_section = payload["objects"]
     functions_section = payload["functions"]
     index_section = payload["index"]
@@ -281,7 +314,8 @@ class ProcessPoolSolver:
                 self.pool_restarts += 1
         log.warning(
             "process pool broke (worker died); discarding it — the next "
-            "solve starts a fresh pool (restarts=%d)", self.pool_restarts
+            "solve starts a fresh pool",
+            restarts=self.pool_restarts,
         )
         executor.shutdown(wait=False, cancel_futures=True)
 
@@ -343,8 +377,19 @@ class ProcessPoolSolver:
         return _JobHandle(position, job, resolved, started, future)
 
     def collect(self, handle: _JobHandle) -> JobResult:
-        """Await one dispatched job and fold its counters back in."""
-        result, hit = handle.future.result()
+        """Await one dispatched job and fold its counters back in.
+
+        The worker's spans stay in its process; the parent re-emits an
+        ``engine.solve`` span from the returned :class:`RunStats` (its
+        duration includes queue wait — phase children are exact)."""
+        with span(
+            "engine.solve",
+            method=handle.resolved.method_name,
+            executor="process",
+        ) as solve_span:
+            result, hit = handle.future.result()
+            solve_span.attributes["index_cache_hit"] = hit
+            attach_engine_spans(solve_span, result.stats)
         with self._guard:
             if hit:
                 self.hits += 1

@@ -252,6 +252,50 @@ def test_failover_is_bit_identical_for_every_engine_config(fleet, client):
         assert resolved.method == expected.method
 
 
+def test_failover_trace_stitches_across_backends(fleet, client):
+    """Kill the owner mid-sequence: the re-forwarded solve's trace —
+    fetched from the gateway — stitches gateway and successor spans
+    under one trace id, showing the failed forward, the replayed
+    registration, and the successor's re-solve."""
+    problem = make_problem(nf=8, no=40, seed=61)
+    pid = client.register(problem)
+    client.solve(pid)
+    owner = fleet.owner_address(problem)
+
+    fleet.kill(owner)
+    client.solve(pid)
+    trace_id = client.last_trace_id
+    assert trace_id is not None
+
+    record = client.request("GET", f"/v1/traces/{trace_id}")[1]
+    assert record["stitched"] is True
+    assert {s["trace_id"] for s in record["spans"]} == {trace_id}
+
+    names = [s["name"] for s in record["spans"]]
+    assert "gateway.request" in names
+    # The forward to the dead owner failed inside this trace...
+    failed = [
+        s
+        for s in record["spans"]
+        if s["name"] == "http.request" and s["status"] == "error"
+    ]
+    assert failed, names
+    assert any(owner in s["attributes"]["backend"] for s in failed)
+    # ...the gateway replayed the remembered registration...
+    assert "gateway.reregister" in names
+    # ...and the ring successor actually re-ran the engine under the
+    # same trace id (its own server.request adopted the forward's
+    # context over the wire).
+    assert "server.request" in names
+    assert "engine.solve" in names
+    # Spans came from at least two processes-worth of nodes: the
+    # gateway plus the successor backend.
+    assert len(record["nodes"]) >= 2
+    successor = fleet.owner_address(problem)
+    assert successor != owner
+    assert successor in record["nodes"]
+
+
 def test_no_live_owner_yields_503_with_retry_after(fleet, client):
     problem = make_problem(seed=53)
     pid = client.register(problem)
