@@ -1,0 +1,78 @@
+"""``repro.analysis`` — AST-based invariant checker (``repro-lint``).
+
+Four rule families, each encoding a discipline earlier PRs introduced
+in prose and this package makes machine-checked:
+
+======  ==========================================================
+REP0xx  meta (parse failures, malformed suppression comments)
+REP1xx  lock discipline — guarded attributes accessed off-lock
+REP2xx  determinism — RNG / wall-clock / set-order / id() in the
+        bit-identical packages (engine, kernels, skyline, planner,
+        rtree)
+REP3xx  registry consistency — calibration, ENGINE_CONFIGS,
+        identity-test coverage, derived dispatch views
+REP4xx  hot-path & error hygiene — spans/logs on never-traced
+        paths, bare/swallowed except, hand-built error envelopes
+======  ==========================================================
+
+Findings are typed (:class:`Finding`), output is text or JSON, and a
+checked-in baseline (``repro-lint.baseline.json``) holds reviewed,
+justified exceptions: accepted findings pass CI, *new* findings fail
+it.  Inline escape hatch: ``# lint: <tag>-ok(reason)`` with a
+mandatory reason.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+)
+from repro.analysis.determinism import (
+    DETERMINISTIC_MARKER,
+    DETERMINISTIC_PACKAGES,
+    check_determinism,
+    is_deterministic_path,
+)
+from repro.analysis.findings import Finding, sort_findings
+from repro.analysis.hotpath import (
+    ENVELOPE_BOUNDARIES,
+    NEVER_TRACED_MARKER,
+    check_hotpath,
+)
+from repro.analysis.locks import check_locks
+from repro.analysis.registry_rules import RegistryView, check_registry
+from repro.analysis.runner import (
+    LintResult,
+    iter_python_files,
+    lint_file,
+    render_json,
+    run_lint,
+)
+from repro.analysis.suppress import TAG_RULES, SuppressionIndex
+
+__all__ = [
+    "BASELINE_VERSION",
+    "Baseline",
+    "DEFAULT_BASELINE_NAME",
+    "DETERMINISTIC_MARKER",
+    "DETERMINISTIC_PACKAGES",
+    "ENVELOPE_BOUNDARIES",
+    "Finding",
+    "LintResult",
+    "NEVER_TRACED_MARKER",
+    "RegistryView",
+    "SuppressionIndex",
+    "TAG_RULES",
+    "check_determinism",
+    "check_hotpath",
+    "check_locks",
+    "check_registry",
+    "is_deterministic_path",
+    "iter_python_files",
+    "lint_file",
+    "render_json",
+    "run_lint",
+    "sort_findings",
+]

@@ -1,0 +1,129 @@
+"""The checked-in baseline: accepted findings that must not grow.
+
+``repro-lint`` compares the current findings against a baseline file
+(JSON, checked in at the repo root).  A finding whose fingerprint is
+in the baseline is *accepted* — pre-existing, reviewed, justified —
+and does not fail CI; any finding not in the baseline is *new* and
+does.  Baseline entries carry a mandatory written justification: the
+baseline is a reviewed ledger of deliberate exceptions, not a mute
+button.  Entries whose finding no longer fires are reported as *stale*
+so the ledger shrinks as code improves.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "repro-lint.baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Fingerprint → justification ledger of accepted findings."""
+
+    entries: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return cls()
+        except (OSError, ValueError) as exc:
+            raise ValueError(f"unreadable baseline file {path}: {exc}") from exc
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != BASELINE_VERSION
+            or not isinstance(payload.get("findings"), list)
+        ):
+            raise ValueError(
+                f"baseline file {path} is not a version-{BASELINE_VERSION} "
+                "repro-lint baseline"
+            )
+        entries: dict[str, dict[str, str]] = {}
+        for item in payload["findings"]:
+            if not isinstance(item, dict) or "fingerprint" not in item:
+                raise ValueError(
+                    f"baseline file {path} has an entry without a fingerprint"
+                )
+            entries[str(item["fingerprint"])] = {
+                "rule": str(item.get("rule", "")),
+                "path": str(item.get("path", "")),
+                "scope": str(item.get("scope", "")),
+                "message": str(item.get("message", "")),
+                "justification": str(item.get("justification", "")),
+            }
+        return cls(entries=entries)
+
+    def save(self, path: Path, findings: list[Finding]) -> None:
+        """Write ``findings`` as the new baseline (existing
+        justifications are preserved per fingerprint; new entries get a
+        TODO placeholder a reviewer must replace)."""
+        items = []
+        for finding in findings:
+            previous = self.entries.get(finding.fingerprint, {})
+            items.append(
+                {
+                    "fingerprint": finding.fingerprint,
+                    "rule": finding.rule,
+                    "path": finding.path,
+                    "scope": finding.scope,
+                    "message": finding.message,
+                    "justification": (
+                        finding.justification
+                        or previous.get("justification")
+                        or "TODO: justify or fix"
+                    ),
+                }
+            )
+        items.sort(key=lambda i: (i["path"], i["rule"], i["fingerprint"]))
+        payload = {"version": BASELINE_VERSION, "findings": items}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[dict[str, str]]]:
+        """``(new, accepted, stale_entries)`` for the current run.
+
+        Accepted findings come back annotated with their baseline
+        justification; stale entries are baseline rows whose finding
+        no longer fires.
+        """
+        new: list[Finding] = []
+        accepted: list[Finding] = []
+        seen: set[str] = set()
+        for finding in findings:
+            entry = self.entries.get(finding.fingerprint)
+            if entry is None:
+                new.append(finding)
+            else:
+                seen.add(finding.fingerprint)
+                accepted.append(
+                    Finding(
+                        rule=finding.rule,
+                        path=finding.path,
+                        line=finding.line,
+                        column=finding.column,
+                        scope=finding.scope,
+                        severity=finding.severity,
+                        message=finding.message,
+                        justification=entry.get("justification", ""),
+                    )
+                )
+        stale = [
+            {**entry, "fingerprint": fingerprint}
+            for fingerprint, entry in sorted(self.entries.items())
+            if fingerprint not in seen
+        ]
+        return new, accepted, stale
+
+
+__all__ = ["Baseline", "BASELINE_VERSION", "DEFAULT_BASELINE_NAME"]

@@ -1,0 +1,95 @@
+"""Typed findings — the one record every lint rule emits.
+
+A :class:`Finding` names the rule that fired, where (file, line,
+column), inside what scope (``Class.method`` — part of the baseline
+fingerprint, so findings survive unrelated line drift), and why.  The
+``fingerprint`` deliberately excludes the line number: a baselined
+finding stays recognised when code above it moves, and resurfaces as
+*new* only when the rule, file, scope or message actually change.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+#: Severity levels, mild to severe (ordering used for text output).
+SEVERITIES = ("info", "warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    severity: str = "error"
+    column: int = 0
+    #: Enclosing ``Class.function`` (or module-level marker) — part of
+    #: the baseline identity, so findings track their code, not their
+    #: line number.
+    scope: str = "<module>"
+    #: Why this finding is accepted (filled from the baseline entry
+    #: when matched; empty for new findings).
+    justification: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baseline matching (line-independent)."""
+        raw = "\x1f".join((self.rule, self.path, self.scope, self.message))
+        return hashlib.sha256(raw.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.column}: "
+            f"{self.rule} [{self.severity}] {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "scope": self.scope,
+            "severity": self.severity,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+        if self.justification:
+            out["justification"] = self.justification
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Finding":
+        return cls(
+            rule=str(payload["rule"]),
+            path=str(payload["path"]),
+            line=int(payload.get("line", 0)),
+            column=int(payload.get("column", 0)),
+            scope=str(payload.get("scope", "<module>")),
+            severity=str(payload.get("severity", "error")),
+            message=str(payload["message"]),
+            justification=str(payload.get("justification", "")),
+        )
+
+
+def sort_findings(findings: list[Finding]) -> list[Finding]:
+    """Stable presentation order: by file, then line, then rule id."""
+    return sorted(findings, key=lambda f: (f.path, f.line, f.column, f.rule))
+
+
+__all__ = ["Finding", "SEVERITIES", "sort_findings"]

@@ -1,0 +1,317 @@
+"""REP10x — lock discipline: guarded attributes stay guarded.
+
+The serving tiers share one locking idiom: a class owns a
+``threading.Lock`` attribute and every mutation of its shared state
+happens inside ``with self._lock:``.  The invariant this rule infers
+and enforces, per class:
+
+- **lock attributes** are ``self`` attributes assigned a
+  ``threading.Lock()`` / ``RLock()`` / ``Condition()`` (or declared as
+  a dataclass field with one of those as ``default_factory``);
+- an attribute is **guarded** if any method *writes* it inside a
+  ``with self.<lock>:`` block — writes include plain and augmented
+  assignment, subscript stores (``self._jobs[k] = v``), ``del``, and
+  mutating method calls (``self._records.append(...)``);
+- every other access to a guarded attribute (read or write, any
+  method) must also sit inside a ``with self.<lock>:`` block.
+
+``__init__`` / ``__post_init__`` / ``__new__`` are exempt: during
+construction the instance is unshared by definition.  Deliberate
+lock-free accesses (e.g. a benign racy read of a monotonic counter)
+take the escape hatch ``# lint: unguarded-ok(reason)``.
+
+Cross-*object* accesses (``backend.alive`` from another class) are out
+of scope: the rule reasons per class, where the lock and the state it
+guards are declared together.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+
+RULE_UNGUARDED_READ = "REP101"
+RULE_UNGUARDED_WRITE = "REP102"
+
+#: Constructors whose result makes an attribute a lock.
+_LOCK_FACTORIES = {"Lock", "RLock", "Condition"}
+
+#: Method names that mutate their receiver in place.  Receivers of
+#: these calls count as *writes* when inferring the guarded set.
+_MUTATORS = {
+    "append",
+    "appendleft",
+    "extend",
+    "insert",
+    "pop",
+    "popleft",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+    "update",
+    "setdefault",
+    "add",
+    "move_to_end",
+    "sort",
+    "reverse",
+}
+
+#: Methods exempt from the outside-lock check (construction: the
+#: instance is not yet shared).
+_CONSTRUCTORS = {"__init__", "__post_init__", "__new__"}
+
+
+def _is_lock_factory(call: ast.expr) -> bool:
+    """``threading.Lock()`` / ``Lock()`` (imported name) and friends."""
+    if not isinstance(call, ast.Call):
+        return False
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in _LOCK_FACTORIES
+    if isinstance(func, ast.Name):
+        return func.id in _LOCK_FACTORIES
+    return False
+
+
+def _self_attribute(node: ast.expr, self_name: str) -> str | None:
+    """``self.<attr>`` → attr name, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == self_name
+    ):
+        return node.attr
+    return None
+
+
+def _self_name(func: ast.FunctionDef | ast.AsyncFunctionDef) -> str | None:
+    args = func.args.posonlyargs + func.args.args
+    if not args:
+        return None
+    return args[0].arg
+
+
+def _iter_methods(
+    cls: ast.ClassDef,
+) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in cls.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def _lock_attrs(cls: ast.ClassDef) -> set[str]:
+    """Names of ``self`` attributes holding locks, however declared."""
+    locks: set[str] = set()
+    # Dataclass-style: ``_guard: threading.Lock = field(default_factory=...)``
+    for node in cls.body:
+        if not isinstance(node, ast.AnnAssign) or not isinstance(node.target, ast.Name):
+            continue
+        annotation = node.annotation
+        name = (
+            annotation.attr
+            if isinstance(annotation, ast.Attribute)
+            else annotation.id
+            if isinstance(annotation, ast.Name)
+            else None
+        )
+        if name in _LOCK_FACTORIES:
+            locks.add(node.target.id)
+    # Imperative style: ``self._guard = threading.Lock()`` anywhere.
+    for method in _iter_methods(cls):
+        self_name = _self_name(method)
+        if self_name is None:
+            continue
+        for stmt in ast.walk(method):
+            if isinstance(stmt, ast.Assign) and _is_lock_factory(stmt.value):
+                for target in stmt.targets:
+                    attr = _self_attribute(target, self_name)
+                    if attr is not None:
+                        locks.add(attr)
+    return locks
+
+
+class _MethodWalker(ast.NodeVisitor):
+    """Walks one method tracking ``with self.<lock>:`` nesting depth.
+
+    Subclasses hook :meth:`handle_access`; ``kind`` is ``"write"`` for
+    assignment/mutation targets and ``"read"`` otherwise.
+    """
+
+    def __init__(self, self_name: str, locks: set[str]) -> None:
+        self.self_name = self_name
+        self.locks = locks
+        self.depth = 0
+        #: self attributes written at the current position.
+        self._write_attrs: set[int] = set()
+
+    # -- hook ----------------------------------------------------------
+
+    def handle_access(self, attr: str, node: ast.expr, kind: str) -> None:
+        raise NotImplementedError
+
+    # -- lock tracking -------------------------------------------------
+
+    def _holds(self, item: ast.withitem) -> bool:
+        return _self_attribute(item.context_expr, self.self_name) in self.locks
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        held = any(self._holds(item) for item in node.items)
+        for item in node.items:
+            self.visit(item)
+        if held:
+            self.depth += 1
+        for stmt in node.body:
+            self.visit(stmt)
+        if held:
+            self.depth -= 1
+
+    # Nested defs get fresh self bindings; don't descend.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        pass
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+    # -- access classification -----------------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = _self_attribute(node, self.self_name)
+        if attr is not None and attr not in self.locks:
+            kind = (
+                "write"
+                if isinstance(node.ctx, (ast.Store, ast.Del))
+                or id(node) in self._write_attrs
+                else "read"
+            )
+            self.handle_access(attr, node, kind)
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        # ``self._x[k] = v`` / ``del self._x[k]`` mutate self._x.
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            attr_node = node.value
+            if _self_attribute(attr_node, self.self_name) is not None:
+                self._write_attrs.add(id(attr_node))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # ``self._x.append(v)`` mutates self._x.
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr in _MUTATORS:
+            receiver = func.value
+            if _self_attribute(receiver, self.self_name) is not None:
+                self._write_attrs.add(id(receiver))
+        self.generic_visit(node)
+
+
+class _GuardedCollector(_MethodWalker):
+    """Pass 1: attributes written while a class lock is held."""
+
+    def __init__(self, self_name: str, locks: set[str]) -> None:
+        super().__init__(self_name, locks)
+        self.guarded: set[str] = set()
+
+    def handle_access(self, attr: str, node: ast.expr, kind: str) -> None:
+        if kind == "write" and self.depth > 0:
+            self.guarded.add(attr)
+
+
+class _ViolationCollector(_MethodWalker):
+    """Pass 2: accesses to guarded attributes outside any class lock."""
+
+    def __init__(
+        self,
+        self_name: str,
+        locks: set[str],
+        guarded: set[str],
+        scope: str,
+        path: str,
+    ) -> None:
+        super().__init__(self_name, locks)
+        self.guarded = guarded
+        self.scope = scope
+        self.path = path
+        self.findings: list[Finding] = []
+        self._seen: set[tuple[int, int, str]] = set()
+
+    def handle_access(self, attr: str, node: ast.expr, kind: str) -> None:
+        if attr not in self.guarded or self.depth > 0:
+            return
+        key = (node.lineno, node.col_offset, attr)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        if kind == "write":
+            rule, what, severity = RULE_UNGUARDED_WRITE, "written", "error"
+        else:
+            rule, what, severity = RULE_UNGUARDED_READ, "read", "warning"
+        self.findings.append(
+            Finding(
+                rule=rule,
+                path=self.path,
+                line=node.lineno,
+                column=node.col_offset,
+                scope=self.scope,
+                severity=severity,
+                message=(
+                    f"guarded attribute 'self.{attr}' {what} outside its "
+                    f"lock ({what} under 'with self.<lock>:' elsewhere in "
+                    f"class {self.scope.split('.')[0]})"
+                ),
+            )
+        )
+
+
+def check_locks(tree: ast.Module, path: str) -> list[Finding]:
+    """Run the lock-discipline rule over one parsed module."""
+    findings: list[Finding] = []
+    for cls in [n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)]:
+        locks = _lock_attrs(cls)
+        if not locks:
+            continue
+        guarded: set[str] = set()
+        walkers: list[tuple[ast.FunctionDef | ast.AsyncFunctionDef, str]] = []
+        for method in _iter_methods(cls):
+            self_name = _self_name(method)
+            if self_name is None:
+                continue
+            collector = _GuardedCollector(self_name, locks)
+            for stmt in method.body:
+                collector.visit(stmt)
+            guarded |= collector.guarded
+            walkers.append((method, self_name))
+        if not guarded:
+            continue
+        for method, self_name in walkers:
+            if method.name in _CONSTRUCTORS:
+                continue
+            violations = _ViolationCollector(
+                self_name,
+                locks,
+                guarded,
+                scope=f"{cls.name}.{method.name}",
+                path=path,
+            )
+            for stmt in method.body:
+                violations.visit(stmt)
+            findings.extend(violations.findings)
+    return findings
+
+
+__all__ = [
+    "RULE_UNGUARDED_READ",
+    "RULE_UNGUARDED_WRITE",
+    "check_locks",
+]

@@ -1,0 +1,118 @@
+"""The escape hatch: ``# lint: <tag>-ok(reason)`` comments.
+
+A rule finding is suppressed when the flagged line — or a comment-only
+line directly above it — carries a suppression whose tag covers the
+rule, **with a non-empty reason**.  The reason is mandatory by design:
+an invariant checker whose overrides don't say *why* just moves the
+folklore from reviewers' heads into unexplained pragmas.  A reasonless
+``-ok()`` does not suppress anything and is itself reported (REP001),
+so it cannot rot silently.
+
+Tags map to rule ids (see :data:`TAG_RULES`); an exact rule id
+(``REP203``) is also accepted as a tag.  Multiple suppressions may
+share one comment: ``# lint: setiter-ok(canonical order restored by
+sort below) idkey-ok(never ordered)``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.analysis.findings import Finding
+
+#: Suppression tag → rule ids it covers.
+TAG_RULES: dict[str, tuple[str, ...]] = {
+    "unguarded": ("REP101", "REP102"),
+    "rng": ("REP201",),
+    "timedep": ("REP202",),
+    "setiter": ("REP203",),
+    "idkey": ("REP204",),
+    "nondeterminism": ("REP201", "REP202", "REP203", "REP204"),
+    "untraced": ("REP401", "REP402"),
+    "except": ("REP403", "REP404"),
+    "envelope": ("REP405",),
+}
+
+_SUPPRESSION_RE = re.compile(r"#\s*lint:\s*(?P<body>.+)$")
+_CLAUSE_RE = re.compile(r"(?P<tag>[A-Za-z0-9_]+)-ok\((?P<reason>[^)]*)\)")
+_COMMENT_ONLY_RE = re.compile(r"^\s*#")
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """One ``tag-ok(reason)`` clause found in a source comment."""
+
+    line: int
+    tag: str
+    reason: str
+
+    def covers(self, rule: str) -> bool:
+        if self.tag.upper() == rule:
+            return True
+        return rule in TAG_RULES.get(self.tag.lower(), ())
+
+
+class SuppressionIndex:
+    """All suppression comments of one file, queryable per finding."""
+
+    def __init__(self, source: str) -> None:
+        self._by_line: dict[int, list[Suppression]] = {}
+        self._comment_only: set[int] = set()
+        self.malformed: list[Finding] = []
+        self._scan(source)
+
+    def _scan(self, source: str) -> None:
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            if _COMMENT_ONLY_RE.match(text):
+                self._comment_only.add(lineno)
+            match = _SUPPRESSION_RE.search(text)
+            if match is None:
+                continue
+            body = match.group("body")
+            clauses = list(_CLAUSE_RE.finditer(body))
+            for clause in clauses:
+                tag = clause.group("tag")
+                reason = clause.group("reason").strip()
+                if not reason:
+                    # Recorded, never honoured: the empty reason is the
+                    # violation (the rule it "suppressed" still fires).
+                    self.malformed.append(
+                        Finding(
+                            rule="REP001",
+                            path="",
+                            line=lineno,
+                            column=match.start(),
+                            severity="warning",
+                            message=(
+                                f"suppression '{tag}-ok()' has no reason; "
+                                "escape hatches must say why "
+                                "(# lint: {tag}-ok(reason))"
+                            ),
+                        )
+                    )
+                    continue
+                self._by_line.setdefault(lineno, []).append(
+                    Suppression(line=lineno, tag=tag, reason=reason)
+                )
+
+    def _candidates(self, line: int) -> list[Suppression]:
+        found = list(self._by_line.get(line, ()))
+        # A comment-only line directly above covers the statement below
+        # (chains of comment lines walk upward, so a block comment
+        # ending in the suppression still applies).
+        above = line - 1
+        while above in self._comment_only:
+            found.extend(self._by_line.get(above, ()))
+            above -= 1
+        return found
+
+    def lookup(self, rule: str, line: int) -> Suppression | None:
+        """The suppression covering ``rule`` at ``line``, if any."""
+        for suppression in self._candidates(line):
+            if suppression.covers(rule):
+                return suppression
+        return None
+
+
+__all__ = ["Suppression", "SuppressionIndex", "TAG_RULES"]

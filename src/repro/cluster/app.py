@@ -790,6 +790,7 @@ class ReproGateway:
                 await writer.drain()
                 if not keep_alive:
                     break
+        # lint: except-ok(client hung up or idled out; nothing to answer)
         except (ConnectionResetError, BrokenPipeError, TimeoutError):
             pass
         finally:

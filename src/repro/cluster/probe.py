@@ -130,6 +130,7 @@ class Backend:
 
     # -- views ---------------------------------------------------------
 
+    # lint: never-traced
     def probe(self) -> bool:
         """One synchronous health check (runs on a worker thread)."""
         try:
@@ -190,11 +191,13 @@ class HealthProber:
         )
         self._thread.start()
 
+    # lint: never-traced
     def _run(self) -> None:
         while not self._stop.is_set():
             self.probe_all()
             self._stop.wait(self.interval)
 
+    # lint: never-traced
     def probe_all(self) -> None:
         """One sweep over all backends (also callable synchronously —
         tests and gateway startup use it to settle liveness now)."""

@@ -34,7 +34,7 @@ class UnknownSolverError(ReproError, ValueError):
         method: object,
         known: Iterable[str],
         kind: str = "solver",
-    ):
+    ) -> None:
         self.method = method
         self.known = tuple(sorted(known))
         super().__init__(
@@ -51,7 +51,7 @@ class InvalidSolverOptionError(ReproError, TypeError):
         unknown: Iterable[str],
         accepted: Iterable[str],
         message: str | None = None,
-    ):
+    ) -> None:
         self.method = method
         self.unknown = tuple(sorted(unknown))
         self.accepted = tuple(sorted(accepted))
@@ -96,7 +96,7 @@ class ServerError(ReproError):
         status: int | None = None,
         payload: object = None,
         trace_id: str | None = None,
-    ):
+    ) -> None:
         self.status = status
         self.payload = payload
         #: Trace id of the failed request (when the server echoed one),
@@ -115,7 +115,7 @@ class ServerBusyError(ServerError):
         retry_after: float = 1.0,
         payload: object = None,
         trace_id: str | None = None,
-    ):
+    ) -> None:
         self.retry_after = float(retry_after)
         super().__init__(message, status=429, payload=payload, trace_id=trace_id)
 
@@ -133,7 +133,7 @@ class ServerUnavailableError(ServerError):
         retry_after: float = 1.0,
         payload: object = None,
         trace_id: str | None = None,
-    ):
+    ) -> None:
         self.retry_after = float(retry_after)
         super().__init__(message, status=503, payload=payload, trace_id=trace_id)
 

@@ -132,7 +132,9 @@ class LogRing:
                 records = [
                     r for r in records if _LEVELS.get(r.get("level"), 0) >= floor
                 ]
-        if limit >= 0:
+        if limit == 0:
+            return []
+        if limit > 0:
             records = records[-limit:]
         return records
 

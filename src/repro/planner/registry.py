@@ -28,11 +28,15 @@ a module-level import of the solver functions here would be circular.
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Iterator, Mapping
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import InvalidSolverOptionError, UnknownSolverError
+
+if TYPE_CHECKING:
+    from repro.core.types import AssignmentResult
+    from repro.engine.engine import EngineConfig
 
 #: The planner pseudo-method: accepted wherever a method name is,
 #: resolved to a concrete registered config before any engine runs.
@@ -55,103 +59,103 @@ _SB_OPTIONS = frozenset(
 # docstring for why these are not plain module-level imports.
 
 
-def _solve_sb(functions, index, **kw):
+def _solve_sb(functions: Any, index: Any, **kw: Any) -> AssignmentResult:
     from repro.core.sb import sb_assign
 
     return sb_assign(functions, index, **kw)
 
 
-def _solve_sb_update(functions, index, **kw):
+def _solve_sb_update(functions: Any, index: Any, **kw: Any) -> AssignmentResult:
     from repro.core.sb import sb_assign
 
     return sb_assign(functions, index, variant="sb-update", **kw)
 
 
-def _solve_sb_deltasky(functions, index, **kw):
+def _solve_sb_deltasky(functions: Any, index: Any, **kw: Any) -> AssignmentResult:
     from repro.core.sb import sb_assign
 
     return sb_assign(functions, index, variant="sb-deltasky", **kw)
 
 
-def _solve_sb_vec(functions, index, **kw):
+def _solve_sb_vec(functions: Any, index: Any, **kw: Any) -> AssignmentResult:
     from repro.kernels.configs import sb_vec_assign
 
     return sb_vec_assign(functions, index, **kw)
 
 
-def _solve_sb_deltasky_vec(functions, index, **kw):
+def _solve_sb_deltasky_vec(functions: Any, index: Any, **kw: Any) -> AssignmentResult:
     from repro.kernels.configs import sb_deltasky_vec_assign
 
     return sb_deltasky_vec_assign(functions, index, **kw)
 
 
-def _solve_two_skylines(functions, index, **kw):
+def _solve_two_skylines(functions: Any, index: Any, **kw: Any) -> AssignmentResult:
     from repro.core.priority import sb_two_skyline_assign
 
     return sb_two_skyline_assign(functions, index, **kw)
 
 
-def _solve_sb_alt(functions, index, **kw):
+def _solve_sb_alt(functions: Any, index: Any, **kw: Any) -> AssignmentResult:
     from repro.core.sb_alt import sb_alt_assign
 
     return sb_alt_assign(functions, index, **kw)
 
 
-def _solve_brute_force(functions, index, **kw):
+def _solve_brute_force(functions: Any, index: Any, **kw: Any) -> AssignmentResult:
     from repro.core.brute_force import brute_force_assign
 
     return brute_force_assign(functions, index, **kw)
 
 
-def _solve_chain(functions, index, **kw):
+def _solve_chain(functions: Any, index: Any, **kw: Any) -> AssignmentResult:
     from repro.core.chain import chain_assign
 
     return chain_assign(functions, index, **kw)
 
 
-def _config_sb(**kw):
+def _config_sb(**kw: Any) -> EngineConfig:
     from repro.engine.configs import sb_config
 
     return sb_config("sb", **kw)
 
 
-def _config_sb_update(**kw):
+def _config_sb_update(**kw: Any) -> EngineConfig:
     from repro.engine.configs import sb_config
 
     return sb_config("sb-update", **kw)
 
 
-def _config_sb_deltasky(**kw):
+def _config_sb_deltasky(**kw: Any) -> EngineConfig:
     from repro.engine.configs import sb_config
 
     return sb_config("sb-deltasky", **kw)
 
 
-def _config_sb_vec(**kw):
+def _config_sb_vec(**kw: Any) -> EngineConfig:
     from repro.kernels.configs import sb_vec_config
 
     return sb_vec_config(**kw)
 
 
-def _config_sb_deltasky_vec(**kw):
+def _config_sb_deltasky_vec(**kw: Any) -> EngineConfig:
     from repro.kernels.configs import sb_deltasky_vec_config
 
     return sb_deltasky_vec_config(**kw)
 
 
-def _config_two_skylines(**kw):
+def _config_two_skylines(**kw: Any) -> EngineConfig:
     from repro.engine.configs import two_skyline_config
 
     return two_skyline_config(**kw)
 
 
-def _config_sb_alt(**kw):
+def _config_sb_alt(**kw: Any) -> EngineConfig:
     from repro.engine.configs import sb_alt_config
 
     return sb_alt_config(**kw)
 
 
-def _config_chain(**kw):
+def _config_chain(**kw: Any) -> EngineConfig:
     from repro.engine.configs import chain_config
 
     return chain_config(**kw)
@@ -190,7 +194,7 @@ class SolverSpec:
     def engine_backed(self) -> bool:
         return self.config_factory is not None
 
-    def engine_config(self, **overrides):
+    def engine_config(self, **overrides: Any) -> EngineConfig:
         """Build this solver's :class:`EngineConfig` (with overrides)."""
         if self.config_factory is None:
             raise UnknownSolverError(
@@ -285,13 +289,13 @@ SPECS: tuple[SolverSpec, ...] = (
 class SolverRegistry:
     """Name → :class:`SolverSpec` lookup with typed validation."""
 
-    def __init__(self, specs: tuple[SolverSpec, ...] = SPECS):
+    def __init__(self, specs: tuple[SolverSpec, ...] = SPECS) -> None:
         self._specs: dict[str, SolverSpec] = {s.name: s for s in specs}
 
     def __contains__(self, name: object) -> bool:
         return name in self._specs
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[SolverSpec]:
         return iter(self._specs.values())
 
     def names(self) -> tuple[str, ...]:

@@ -109,6 +109,7 @@ def main(argv: list[str] | None = None) -> None:
 
     try:
         server.serve_forever(on_started=announce)
+    # lint: except-ok(Ctrl-C is the operator's shutdown signal; exit clean)
     except KeyboardInterrupt:
         pass
 

@@ -106,7 +106,11 @@ class Job:
 
     @property
     def finished(self) -> bool:
-        return self.status in (DONE, FAILED)
+        # status flips DONE/FAILED under the guard in mark_done/
+        # mark_failed; an unguarded read here could see the flip before
+        # the same transaction's result fields land.
+        with self._guard:
+            return self.status in (DONE, FAILED)
 
     def mark_running(self) -> None:
         with self._guard:

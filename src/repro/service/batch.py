@@ -305,9 +305,10 @@ class BatchSolver:
         if self.executor == "process":
             process = self._ensure_process()
             results = process.solve_many(jobs)
-            self.peak_concurrency = max(
-                self.peak_concurrency, process.peak_concurrency
-            )
+            with self._concurrency_guard:
+                self.peak_concurrency = max(
+                    self.peak_concurrency, process.peak_concurrency
+                )
             return results
         with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
             futures = [
@@ -320,9 +321,10 @@ class BatchSolver:
         if self.executor == "process":
             process = self._ensure_process()
             result = process.solve_one(job)
-            self.peak_concurrency = max(
-                self.peak_concurrency, process.peak_concurrency
-            )
+            with self._concurrency_guard:
+                self.peak_concurrency = max(
+                    self.peak_concurrency, process.peak_concurrency
+                )
             return result
         return self._run_job(0, job)
 

@@ -312,10 +312,11 @@ class ProcessPoolSolver:
             if self._executor is executor:
                 self._executor = None
                 self.pool_restarts += 1
+            restarts = self.pool_restarts
         log.warning(
             "process pool broke (worker died); discarding it — the next "
             "solve starts a fresh pool",
-            restarts=self.pool_restarts,
+            restarts=restarts,
         )
         executor.shutdown(wait=False, cancel_futures=True)
 

@@ -1,0 +1,507 @@
+"""Tests for ``repro.analysis`` (the ``repro-lint`` invariant checker).
+
+Each rule family gets seeded-violation fixtures asserting the *exact*
+rule ids and line numbers, plus a clean fixture proving no false
+positives on the idiomatic form of the same code.  The baseline and
+CLI tests run the real pipeline end-to-end in a tmp tree, and the last
+test runs the checker over this repository itself — the same contract
+CI's ``lint-invariants`` job enforces.
+"""
+
+import ast
+import json
+from pathlib import Path
+
+from repro.analysis import (
+    Baseline,
+    Finding,
+    RegistryView,
+    SuppressionIndex,
+    check_determinism,
+    check_hotpath,
+    check_locks,
+    check_registry,
+    is_deterministic_path,
+    run_lint,
+)
+from repro.analysis.__main__ import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def rules_at(findings: list[Finding]) -> list[tuple[str, int]]:
+    return [(f.rule, f.line) for f in findings]
+
+
+# ---------------------------------------------------------------------------
+# REP10x — lock discipline
+
+
+LOCK_FIXTURE = """\
+import threading
+
+class Counter:
+    def __init__(self):
+        self._guard = threading.Lock()
+        self.total = 0
+        self.items = []
+
+    def bump(self):
+        with self._guard:
+            self.total += 1
+            self.items.append(self.total)
+
+    def peek(self):
+        return self.total
+
+    def reset(self):
+        self.total = 0
+
+    def drain(self):
+        self.items.clear()
+"""
+
+
+def test_lock_rule_flags_unguarded_accesses_with_exact_lines():
+    findings = check_locks(ast.parse(LOCK_FIXTURE), "fixture.py")
+    assert rules_at(findings) == [
+        ("REP101", 15),  # peek reads self.total off-lock
+        ("REP102", 18),  # reset writes self.total off-lock
+        ("REP102", 21),  # drain mutates self.items via .clear() off-lock
+    ]
+    assert findings[0].scope == "Counter.peek"
+    assert findings[0].severity == "warning"
+    assert findings[1].severity == "error"
+
+
+LOCK_CLEAN_FIXTURE = """\
+import threading
+
+class Counter:
+    def __init__(self):
+        self._guard = threading.Lock()
+        self.total = 0
+        self.label = "counter"
+
+    def bump(self):
+        with self._guard:
+            self.total += 1
+
+    def peek(self):
+        with self._guard:
+            return self.total
+
+    def name(self):
+        return self.label
+"""
+
+
+def test_lock_rule_clean_fixture_has_no_findings():
+    # label is never written under the lock, so reading it is fine;
+    # every access to the guarded attribute holds the lock.
+    assert check_locks(ast.parse(LOCK_CLEAN_FIXTURE), "fixture.py") == []
+
+
+def test_lock_rule_detects_dataclass_style_locks():
+    source = """\
+import threading
+from dataclasses import dataclass, field
+
+@dataclass
+class Record:
+    status: str = "queued"
+    _guard: threading.Lock = field(default_factory=threading.Lock)
+
+    def flip(self):
+        with self._guard:
+            self.status = "done"
+
+    def peek(self):
+        return self.status
+"""
+    findings = check_locks(ast.parse(source), "fixture.py")
+    assert rules_at(findings) == [("REP101", 14)]
+
+
+def test_lock_rule_subscript_store_counts_as_write():
+    source = """\
+import threading
+
+class Table:
+    def __init__(self):
+        self._guard = threading.Lock()
+        self._rows = {}
+
+    def put(self, k, v):
+        with self._guard:
+            self._rows[k] = v
+
+    def evict(self, k):
+        del self._rows[k]
+"""
+    findings = check_locks(ast.parse(source), "fixture.py")
+    assert rules_at(findings) == [("REP102", 13)]
+
+
+def test_lock_rule_classes_without_locks_are_out_of_scope():
+    source = """\
+class Plain:
+    def __init__(self):
+        self.total = 0
+
+    def bump(self):
+        self.total += 1
+"""
+    assert check_locks(ast.parse(source), "fixture.py") == []
+
+
+# ---------------------------------------------------------------------------
+# REP20x — determinism
+
+
+DETERMINISM_FIXTURE = """\
+import time
+import random
+
+def pick(deadline, items):
+    if time.time() > deadline:
+        return None
+    seen = {1, 2}
+    out = [x for x in seen]
+    return sorted(items, key=id)
+"""
+
+
+def test_determinism_rules_fire_with_exact_lines():
+    findings = check_determinism(
+        ast.parse(DETERMINISM_FIXTURE), "src/repro/kernels/fixture.py"
+    )
+    assert rules_at(findings) == [
+        ("REP201", 2),  # import random
+        ("REP202", 5),  # time.time() in a branch condition
+        ("REP203", 8),  # comprehension over a bare set
+        ("REP204", 9),  # sorted(key=id)
+    ]
+
+
+DETERMINISM_CLEAN_FIXTURE = """\
+import time
+
+def solve(items, stats):
+    start = time.perf_counter()
+    seen = {1, 2}
+    out = [x for x in sorted(seen)]
+    stats["elapsed"] = time.perf_counter() - start
+    return out
+"""
+
+
+def test_determinism_clean_fixture_has_no_findings():
+    # Measuring wall time into a counter and iterating sorted(set) are
+    # the sanctioned forms; neither may fire.
+    assert (
+        check_determinism(
+            ast.parse(DETERMINISM_CLEAN_FIXTURE),
+            "src/repro/kernels/fixture.py",
+        )
+        == []
+    )
+
+
+def test_deterministic_path_scoping():
+    assert is_deterministic_path("src/repro/kernels/configs.py")
+    assert is_deterministic_path("src/repro/engine/loop.py")
+    assert not is_deterministic_path("src/repro/server/app.py")
+    assert not is_deterministic_path("tests/test_engine.py")
+
+
+# ---------------------------------------------------------------------------
+# REP40x — hot-path / hygiene
+
+
+HOTPATH_FIXTURE = """\
+_UNTRACED_PREFIXES = ("/healthz",)
+_UNTRACED_GET_PREFIXES = ("/v1/jobs",)
+
+class App:
+    def _build(self, router):
+        router.add("GET", "/healthz", self._healthz)
+        router.add("GET", "/v1/jobs", self._jobs)
+        router.add("POST", "/v1/solve", self._solve)
+
+    def _healthz(self, request):
+        with span("healthz"):
+            log.info("health checked")
+        return None
+
+    def _jobs(self, request):
+        log.debug("status poll")
+        return None
+
+    def _solve(self, request):
+        log.info("solving")
+        return Response.json({"error": "bad"}, status=422)
+
+    def _dispatch_inner(self, request):
+        return Response.error(500, "boom")
+"""
+
+
+def test_hotpath_rules_fire_with_exact_lines():
+    tree = ast.parse(HOTPATH_FIXTURE)
+    findings = check_hotpath(tree, "fixture.py", HOTPATH_FIXTURE)
+    assert rules_at(findings) == [
+        ("REP401", 11),  # span() in the /healthz handler
+        ("REP402", 12),  # log.info in the /healthz handler
+        ("REP402", 16),  # log.debug in the status-poll GET handler
+        ("REP405", 21),  # hand-built 422 outside the dispatch boundary
+    ]
+    # log.info in the traced _solve handler did NOT fire REP402, and
+    # _dispatch_inner's Response.error is the exempt boundary.
+    assert all(f.line not in (20, 24) for f in findings)
+
+
+def test_bare_and_swallowed_except():
+    source = """\
+def risky(work):
+    try:
+        work()
+    except:
+        return None
+    try:
+        work()
+    except ValueError:
+        pass
+"""
+    findings = check_hotpath(ast.parse(source), "fixture.py", source)
+    assert rules_at(findings) == [("REP403", 4), ("REP404", 8)]
+
+
+def test_never_traced_marker_opts_in_plain_functions():
+    source = """\
+# lint: never-traced
+def sweep(backends):
+    log.info("sweeping")
+"""
+    findings = check_hotpath(ast.parse(source), "fixture.py", source)
+    assert rules_at(findings) == [("REP402", 3)]
+
+
+# ---------------------------------------------------------------------------
+# suppressions
+
+
+def test_suppression_same_line_and_line_above():
+    source = """\
+x = build()  # lint: setiter-ok(canonical order restored downstream)
+# lint: unguarded-ok(benign racy read of a monotonic counter)
+y = peek()
+"""
+    index = SuppressionIndex(source)
+    assert index.lookup("REP203", 1) is not None
+    assert index.lookup("REP204", 1) is None  # tag doesn't cover REP204
+    assert index.lookup("REP101", 3) is not None  # comment line above
+    assert index.lookup("REP102", 3) is not None
+    assert index.malformed == []
+
+
+def test_reasonless_suppression_is_reported_and_not_honoured():
+    source = "x = build()  # lint: setiter-ok()\n"
+    index = SuppressionIndex(source)
+    assert index.lookup("REP203", 1) is None
+    assert [f.rule for f in index.malformed] == ["REP001"]
+
+
+def test_exact_rule_id_works_as_suppression_tag():
+    source = "x = build()  # lint: REP203-ok(order is re-sorted below)\n"
+    index = SuppressionIndex(source)
+    assert index.lookup("REP203", 1) is not None
+    assert index.lookup("REP201", 1) is None
+
+
+# ---------------------------------------------------------------------------
+# REP30x — registry consistency (seeded inconsistent view)
+
+
+def test_registry_rules_on_seeded_inconsistencies(tmp_path):
+    view = RegistryView(
+        plannable={"sb": "sb", "ghost": "ghost-key"},
+        engine_backed=frozenset({"sb", "lost"}),
+        engine_configs=frozenset({"sb", "orphan"}),
+        calibration=frozenset({"sb", "stale-key"}),
+        root=tmp_path,
+    )
+    findings = check_registry(view)
+    assert sorted((f.rule, f.message.split("'")[1]) for f in findings) == [
+        ("REP301", "ghost"),      # plannable without a calibration row
+        ("REP302", "lost"),       # engine-backed, no ENGINE_CONFIGS entry
+        ("REP302", "orphan"),     # config entry no spec claims
+        ("REP303", "ghost"),      # no forced-pick coverage (no test file)
+        ("REP303", "sb"),
+        ("REP305", "stale-key"),  # calibration row with no spec
+    ]
+
+
+def test_registry_rules_accept_derived_forced_pick_list(tmp_path):
+    test_dir = tmp_path / "tests"
+    test_dir.mkdir()
+    (test_dir / "test_planner_identity.py").write_text(
+        "PLANNABLE = tuple(s.name for s in REGISTRY.plannable())\n"
+    )
+    view = RegistryView(
+        plannable={"sb": "sb"},
+        engine_backed=frozenset({"sb"}),
+        engine_configs=frozenset({"sb"}),
+        calibration=frozenset({"sb"}),
+        root=tmp_path,
+    )
+    assert [f.rule for f in check_registry(view)] == []
+
+
+def test_live_registry_is_consistent():
+    assert check_registry(RegistryView.live(REPO_ROOT)) == []
+
+
+# ---------------------------------------------------------------------------
+# baseline round-trip
+
+
+def test_baseline_round_trip_accepts_then_goes_stale(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(LOCK_FIXTURE)
+    baseline_path = tmp_path / "baseline.json"
+
+    first = run_lint([bad], root=tmp_path, registry_checks=False)
+    assert [f.rule for f in first.new] == ["REP101", "REP102", "REP102"]
+
+    Baseline().save(baseline_path, first.new)
+    payload = json.loads(baseline_path.read_text())
+    assert payload["version"] == 1
+    assert all(
+        e["justification"] == "TODO: justify or fix"
+        for e in payload["findings"]
+    )
+
+    second = run_lint(
+        [bad],
+        root=tmp_path,
+        baseline=Baseline.load(baseline_path),
+        registry_checks=False,
+    )
+    assert second.new == []
+    assert len(second.accepted) == 3
+    assert second.exit_code == 0
+
+    # Fix one violation: its baseline entry is now stale, nothing new.
+    bad.write_text(LOCK_FIXTURE.replace(
+        "    def reset(self):\n        self.total = 0\n", ""
+    ))
+    third = run_lint(
+        [bad],
+        root=tmp_path,
+        baseline=Baseline.load(baseline_path),
+        registry_checks=False,
+    )
+    assert third.new == []
+    assert len(third.accepted) == 2
+    assert len(third.stale_baseline) == 1
+    assert third.stale_baseline[0]["rule"] == "REP102"
+
+
+def test_baseline_fingerprint_survives_line_drift(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(LOCK_FIXTURE)
+    first = run_lint([bad], root=tmp_path, registry_checks=False)
+
+    bad.write_text("# a new leading comment\n\n" + LOCK_FIXTURE)
+    drifted = run_lint([bad], root=tmp_path, registry_checks=False)
+    assert [f.fingerprint for f in first.new] == [
+        f.fingerprint for f in drifted.new
+    ]
+    assert [f.line for f in drifted.new] == [f.line + 2 for f in first.new]
+
+
+def test_suppressions_remove_findings_in_the_pipeline(tmp_path):
+    suppressed = LOCK_FIXTURE.replace(
+        "        return self.total",
+        "        # lint: unguarded-ok(benign racy read for a gauge)\n"
+        "        return self.total",
+    )
+    bad = tmp_path / "bad.py"
+    bad.write_text(suppressed)
+    result = run_lint([bad], root=tmp_path, registry_checks=False)
+    assert [f.rule for f in result.new] == ["REP102", "REP102"]
+    assert result.suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def test_cli_exit_codes_and_json(tmp_path, capsys):
+    pkg = tmp_path / "src"
+    pkg.mkdir()
+    bad = pkg / "bad.py"
+    bad.write_text(LOCK_FIXTURE)
+
+    code = lint_main(
+        ["--root", str(tmp_path), "--json", "--no-baseline", str(bad)]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["summary"]["new"] == 3
+    assert {f["rule"] for f in payload["findings"]} == {"REP101", "REP102"}
+    assert all("fingerprint" in f for f in payload["findings"])
+
+    code = lint_main(["--root", str(tmp_path), "--write-baseline", str(bad)])
+    assert code == 0
+    capsys.readouterr()
+    code = lint_main(
+        ["--root", str(tmp_path), "--fail-on-new", str(bad)]
+    )
+    assert code == 0
+    assert "3 accepted" in capsys.readouterr().out
+
+    assert lint_main(["--root", str(tmp_path), str(tmp_path / "nope")]) == 2
+
+
+def test_cli_rules_filter(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(LOCK_FIXTURE)
+    code = lint_main(
+        [
+            "--root", str(tmp_path), "--no-baseline",
+            "--rules", "REP101", "--json", str(bad),
+        ]
+    )
+    assert code == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert [f["rule"] for f in payload["findings"]] == ["REP101"]
+
+
+# ---------------------------------------------------------------------------
+# the repo's own contract (what CI's lint-invariants job enforces)
+
+
+def test_repo_is_clean_against_checked_in_baseline():
+    result = run_lint(
+        [REPO_ROOT / "src" / "repro"],
+        root=REPO_ROOT,
+        baseline=Baseline.load(REPO_ROOT / "repro-lint.baseline.json"),
+    )
+    assert result.new == [], "\n".join(f.render() for f in result.new)
+    assert result.stale_baseline == []
+    # Every accepted finding carries a written justification.
+    assert all(
+        f.justification and "TODO" not in f.justification
+        for f in result.accepted
+    )
+
+
+def test_analysis_package_self_check():
+    result = run_lint(
+        [REPO_ROOT / "src" / "repro" / "analysis"],
+        root=REPO_ROOT,
+        registry_checks=False,
+    )
+    assert result.new == [], "\n".join(f.render() for f in result.new)

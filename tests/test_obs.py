@@ -254,6 +254,16 @@ class TestLogRing:
         ]
         assert len(ring.tail(limit=2)) == 2
 
+    def test_tail_zero_limit_returns_nothing(self):
+        # regression: records[-0:] is records[:], so tail(0) used to
+        # return the whole ring instead of an empty slice
+        ring = LogRing(capacity=4)
+        for i in range(3):
+            ring.append({"level": "INFO", "message": f"m{i}"})
+        assert ring.tail(limit=0) == []
+        assert ring.tail(limit=0, level="info") == []
+        assert len(ring.tail(limit=-1)) == 3  # negative = unbounded
+
     def test_capacity_must_be_positive(self):
         with pytest.raises(ValueError):
             LogRing(capacity=0)

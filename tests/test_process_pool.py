@@ -207,3 +207,35 @@ def test_executor_validation():
 
     with pytest.raises(ValueError, match="max_workers"):
         ProcessPoolSolver(max_workers=0)  # not a silent full-CPU pool
+
+
+def test_discard_broken_is_idempotent_and_logs_captured_count(monkeypatch):
+    """Regression: two racing done-callbacks for the same broken
+    executor must discard it once (one restart counted), and the
+    restart count each one logs is captured under the pool guard, not
+    re-read after release."""
+    from repro.service import pool as pool_module
+    from repro.service.pool import ProcessPoolSolver
+
+    logged = []
+    monkeypatch.setattr(
+        pool_module.log,
+        "warning",
+        lambda msg, **fields: logged.append(fields),
+    )
+
+    class StubExecutor:
+        def __init__(self):
+            self.shutdowns = 0
+
+        def shutdown(self, wait=True, cancel_futures=False):
+            self.shutdowns += 1
+
+    solver = ProcessPoolSolver(max_workers=1)
+    broken = StubExecutor()
+    solver._executor = broken
+    solver._discard_broken(broken)
+    solver._discard_broken(broken)  # stale second callback: no re-count
+    assert solver.pool_restarts == 1
+    assert broken.shutdowns == 2  # shutdown itself is idempotent
+    assert [f["restarts"] for f in logged] == [1, 1]

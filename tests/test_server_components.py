@@ -174,6 +174,37 @@ def test_job_finish_transitions_publish_atomically():
     assert failed.to_dict()["finished_at"] is not None
 
 
+def test_job_finished_reads_status_under_the_record_lock():
+    """Regression: ``Job.finished`` used to read ``status`` unguarded —
+    a poller could observe the DONE flip before the same ``complete()``
+    transaction published its result fields."""
+    import threading
+
+    store = JobStore()
+    job = store.create("pid", make_problem())
+
+    class RecordingGuard:
+        def __init__(self):
+            self.entries = 0
+            self._lock = threading.Lock()
+
+        def __enter__(self):
+            self.entries += 1
+            self._lock.acquire()
+            return self
+
+        def __exit__(self, *exc_info):
+            self._lock.release()
+            return False
+
+    guard = RecordingGuard()
+    job._guard = guard
+    assert job.finished is False
+    assert guard.entries == 1
+    job.complete(solution(1), wall_seconds=0.1, cache_hit=False)
+    assert job.finished is True
+
+
 def test_latency_histogram_quantiles():
     hist = LatencyHistogram()
     for _ in range(99):
