@@ -18,7 +18,9 @@ it:
 - **REP304** — ``core.solve``'s ``SOLVERS`` / ``SOLVER_OPTIONS``
   tables are no longer *derived* from the registry (a literal dict
   re-introduces the pre-PR-5 split-brain);
-- **REP305** — a stale calibration row no plannable spec references.
+- **REP305** — a stale calibration row neither a plannable spec nor a
+  churn backend (``plan_churn``) references; REP301 also fires for a
+  churn backend cost key with no calibrated row.
 
 The checks run on a :class:`RegistryView` — by default snapshotted
 from the live registry/calibration/config tables (they are canonical;
@@ -58,6 +60,9 @@ class RegistryView:
     engine_configs: frozenset[str]
     #: Keys of the checked-in ``CALIBRATION`` table.
     calibration: frozenset[str]
+    #: Cost keys of the churn backends (``plan_churn`` candidates) —
+    #: calibrated rows that intentionally match no registry spec.
+    churn_cost_keys: frozenset[str] = frozenset()
     #: Source anchors (findings point at the drifted artifact).
     calibration_path: str = "src/repro/planner/calibration.py"
     configs_path: str = "src/repro/engine/configs.py"
@@ -70,6 +75,7 @@ class RegistryView:
         """Snapshot the real tables (imports the repro package)."""
         from repro.engine.configs import ENGINE_CONFIGS
         from repro.planner.calibration import CALIBRATION
+        from repro.planner.plan import CHURN_COST_KEYS
         from repro.planner.registry import REGISTRY
 
         return cls(
@@ -77,6 +83,7 @@ class RegistryView:
             engine_backed=frozenset(s.name for s in REGISTRY if s.engine_backed),
             engine_configs=frozenset(ENGINE_CONFIGS),
             calibration=frozenset(CALIBRATION),
+            churn_cost_keys=frozenset(CHURN_COST_KEYS.values()),
             root=root,
         )
 
@@ -177,7 +184,22 @@ def check_registry(view: RegistryView) -> list[Finding]:
                     ),
                 )
             )
-    for cost_key in sorted(view.calibration - set(view.plannable.values())):
+    for cost_key in sorted(view.churn_cost_keys - view.calibration):
+        findings.append(
+            Finding(
+                rule=RULE_MISSING_CALIBRATION,
+                path=view.calibration_path,
+                line=calibration_line,
+                scope="CALIBRATION",
+                message=(
+                    f"churn backend cost key '{cost_key}' has no calibration "
+                    "row: plan_churn would rank it by the pessimistic "
+                    "DEFAULT_ROW — refit with bench_churn.py --calibrate"
+                ),
+            )
+        )
+    referenced = set(view.plannable.values()) | view.churn_cost_keys
+    for cost_key in sorted(view.calibration - referenced):
         findings.append(
             Finding(
                 rule=RULE_STALE_CALIBRATION,
@@ -187,8 +209,8 @@ def check_registry(view: RegistryView) -> list[Finding]:
                 severity="warning",
                 message=(
                     f"calibration row '{cost_key}' matches no plannable "
-                    "spec's cost key: stale row from a removed or renamed "
-                    "solver"
+                    "spec's cost key (nor a churn backend's): stale row "
+                    "from a removed or renamed solver"
                 ),
             )
         )

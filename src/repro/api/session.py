@@ -27,13 +27,14 @@ from repro.api.events import (
 )
 from repro.api.problem import Problem
 from repro.api.solution import Solution, SolutionDiff
-from repro.core.dynamic import DynamicStableMatching
+from repro.core.dynamic import CHURN_BACKENDS, DynamicStableMatching
+from repro.core.types import RunStats
 from repro.core.validate import assert_stable
 from repro.data.instances import FunctionSet, ObjectSet
 from repro.errors import InvalidProblemError, SessionClosedError
 from repro.obs.trace import span
 from repro.planner import AUTO_METHOD as _AUTO
-from repro.planner import Plan
+from repro.planner import CHURN_COST_KEYS, Plan, explicit_plan, plan_churn
 from repro.service.batch import BatchSolver, SolveJob
 
 _DYNAMIC_METHOD = "dynamic"
@@ -64,6 +65,14 @@ class AssignmentSession:
     one shared index cache) or ``"process"`` (per-worker index
     replicas, true multi-core parallelism over a shared catalogue,
     bit-identical results; see :mod:`repro.service.pool`).
+
+    ``churn_backend`` selects the suffix-rematch engine behind
+    ``apply``: ``"interp"``, ``"vec"`` (columnar kernels), or
+    ``"auto"`` (default — the planner's churn cost models pick from
+    the seed population's profile; see
+    :func:`~repro.planner.plan_churn`).  Both backends maintain
+    byte-identical matchings; cumulative cost counters are exposed by
+    :meth:`churn_info` and on each snapshot's ``stats``.
     """
 
     def __init__(
@@ -73,8 +82,16 @@ class AssignmentSession:
         max_workers: int | None = None,
         index_cache_size: int = 32,
         executor: str = "thread",
+        churn_backend: str = _AUTO,
     ):
+        if churn_backend != _AUTO and churn_backend not in CHURN_BACKENDS:
+            raise ValueError(
+                f"unknown churn backend {churn_backend!r}; expected "
+                f"{_AUTO!r} or one of {CHURN_BACKENDS}"
+            )
         self._problem = problem
+        self._churn_backend = churn_backend
+        self._churn_plan: Plan | None = None
         self._batch = BatchSolver(
             max_workers=max_workers,
             index_cache_size=index_cache_size,
@@ -231,11 +248,31 @@ class AssignmentSession:
 
     # -- dynamic (churn) solving ---------------------------------------
 
+    def _resolve_churn_plan(self) -> Plan:
+        """The backend decision for this session's churn path.
+
+        ``churn_backend="auto"`` consults the planner's churn cost
+        models against the seed population's profile; an explicit
+        backend produces the trivial plan.  The chosen backend name is
+        in ``options["backend"]``.
+        """
+        if self._churn_backend == _AUTO:
+            return plan_churn(
+                self._problem.function_set, self._problem.object_set
+            )
+        return explicit_plan(
+            CHURN_COST_KEYS[self._churn_backend],
+            {"backend": self._churn_backend},
+        )
+
     def _ensure_dynamic(self) -> DynamicStableMatching:
         if self._dynamic is None:
             problem = self._problem
+            self._churn_plan = self._resolve_churn_plan()
             self._dynamic = DynamicStableMatching.from_instance(
-                problem.function_set, problem.object_set
+                problem.function_set,
+                problem.object_set,
+                backend=self._churn_plan.options_dict()["backend"],
             )
             for fid, w in enumerate(problem.functions):
                 self._dyn_functions[fid] = (
@@ -250,9 +287,15 @@ class AssignmentSession:
 
     def _snapshot_dynamic(self) -> Solution:
         assert self._dynamic is not None
+        info = self._dynamic.churn_info()
+        stats = RunStats(
+            counters={k: v for k, v in info.items() if isinstance(v, int)}
+        )
         return Solution(
             pairs=tuple(self._dynamic.matching.pairs),
             method=_DYNAMIC_METHOD,
+            stats=stats,
+            plan=self._churn_plan,
         )
 
     def current(self) -> Solution:
@@ -261,6 +304,28 @@ class AssignmentSession:
         self._ensure_dynamic()
         assert self._dyn_solution is not None
         return self._dyn_solution
+
+    @property
+    def has_churn_state(self) -> bool:
+        """Whether :meth:`apply`/:meth:`current` has seeded the
+        dynamic matching (cheap — never seeds it)."""
+        return self._dynamic is not None
+
+    def churn_info(self) -> dict[str, int | str]:
+        """Cumulative churn counters (see
+        :meth:`~repro.core.dynamic.DynamicStableMatching.churn_info`),
+        plus what backend was requested and which one runs."""
+        self._check_open()
+        dyn = self._ensure_dynamic()
+        info = dyn.churn_info()
+        info["requested_backend"] = self._churn_backend
+        return info
+
+    @property
+    def churn_plan(self) -> Plan | None:
+        """The churn-backend :class:`~repro.planner.Plan` (``None``
+        until the dynamic path is first touched)."""
+        return self._churn_plan
 
     def apply(self, events: Event | Iterable[Event]) -> Solution:
         """Apply churn events and incrementally repair the matching.
@@ -281,7 +346,8 @@ class AssignmentSession:
         previous = self._dyn_solution
         arrivals: list[int] = []
         try:
-            self._apply_events(dyn, events, dims, arrivals)
+            with span("session.apply", backend=dyn.backend):
+                self._apply_events(dyn, events, dims, arrivals)
         finally:
             # Always resync the snapshot: a rejected event mid-batch
             # must not leave the cached solution stale relative to the

@@ -21,18 +21,46 @@ therefore:
 2. keeps the unaffected prefix of the emitted pair sequence;
 3. re-runs greedy on the surviving suffix participants only.
 
+The emitted sequence is always globally sorted by the canonical pair
+key (each greedy step takes the minimum remaining key, and suffix
+keys exceed the probe key bounding the prefix), so step 1 is a
+``bisect`` over a parallel key list, and per-handle position indexes
+answer ``partner_of_*`` and departure cuts without scanning.
+
+Two interchangeable backends run step 3:
+
+- ``backend="interp"`` — the reference pure-Python greedy (sorted
+  exact pair keys, one scalar ``score()`` per candidate pair);
+- ``backend="vec"`` — the columnar churn kernel of
+  :mod:`repro.kernels.dynamic`: mutable preallocated coordinate and
+  weight matrices mirror the live population, and the suffix is
+  re-matched with masked mutual-best matmul rounds plus
+  reference-dominator skyline repair.
+
+Both backends produce byte-identical emitted pairs (handles, float
+scores, units, order) — the property tests assert equality against
+each other and against a from-scratch oracle after every event.
+
 On workloads where churn hits the middle of the score range this
 re-matches a fraction of the pairs instead of all of them; the tests
 verify exact equivalence against a from-scratch oracle after every
 event and measure that the suffix work is genuinely partial.
 """
 
+# repro-lint: deterministic-module
+
 from __future__ import annotations
+
+from bisect import bisect_right
 
 from repro.core.types import Matching
 from repro.data.instances import FunctionSet, ObjectSet, Point
+from repro.kernels.dynamic import VectorizedChurnState
 from repro.ordering import PairKey, pair_key
 from repro.scoring import score
+
+#: Valid values of the ``backend`` constructor argument.
+CHURN_BACKENDS = ("interp", "vec")
 
 
 class DynamicStableMatching:
@@ -42,9 +70,20 @@ class DynamicStableMatching:
     returned from ``add_function`` / ``add_object``.  Capacities are
     supported the same way as in the static solvers; priorities via
     pre-scaled (effective) weight vectors.
+
+    ``backend`` selects the suffix-rematch engine (see the module
+    docstring); both backends maintain byte-identical state.  The
+    vectorized backend additionally requires all weight/point tuples
+    of a side to share one dimensionality (``ValueError`` otherwise).
     """
 
-    def __init__(self) -> None:
+    def __init__(self, backend: str = "interp") -> None:
+        if backend not in CHURN_BACKENDS:
+            raise ValueError(
+                f"unknown churn backend {backend!r}; expected one of {CHURN_BACKENDS}"
+            )
+        self.backend = backend
+        self._vec = VectorizedChurnState() if backend == "vec" else None
         self._weights: dict[int, tuple[float, ...]] = {}
         self._f_caps: dict[int, int] = {}
         self._points: dict[int, Point] = {}
@@ -54,11 +93,23 @@ class DynamicStableMatching:
         # Emitted pair sequence in canonical greedy order:
         # (pair_key, fid, oid, score, units).
         self._pairs: list[tuple[PairKey, int, int, float, int]] = []
+        #: Parallel ascending key list (the bisect target of cut probes).
+        self._keys: list[PairKey] = []
+        #: handle → ascending positions of its pairs in ``_pairs``.
+        self._f_pos: dict[int, list[int]] = {}
+        self._o_pos: dict[int, list[int]] = {}
         self.suffix_rematch_count = 0  # pairs re-examined by last event
+        #: Cumulative churn counters (events only; seeding is free).
+        self.events_applied = 0
+        self.pairs_rematched = 0
+        self.full_rematches = 0
 
     @classmethod
     def from_instance(
-        cls, functions: FunctionSet, objects: ObjectSet
+        cls,
+        functions: FunctionSet,
+        objects: ObjectSet,
+        backend: str = "interp",
     ) -> "DynamicStableMatching":
         """Seed from static instance containers in one bulk rematch.
 
@@ -68,14 +119,14 @@ class DynamicStableMatching:
         same canonical order the static solvers use, so the seeded
         matching is exactly the static solution.
         """
-        dyn = cls()
+        dyn = cls(backend=backend)
         for fid, _ in functions.items():
-            dyn._weights[fid] = tuple(functions.effective_weights(fid))
-            dyn._f_caps[fid] = functions.capacity(fid)
+            dyn._register_function(
+                fid, tuple(functions.effective_weights(fid)), functions.capacity(fid)
+            )
         dyn._next_f = len(functions)
         for oid, point in objects.items():
-            dyn._points[oid] = tuple(point)
-            dyn._o_caps[oid] = objects.capacity(oid)
+            dyn._register_object(oid, tuple(point), objects.capacity(oid))
         dyn._next_o = len(objects)
         dyn._rematch_from(0)
         return dyn
@@ -100,10 +151,26 @@ class DynamicStableMatching:
         return len(self._points)
 
     def partner_of_function(self, fid: int) -> list[tuple[int, int]]:
-        return [(o, u) for _, f, o, _, u in self._pairs if f == fid]
+        return [
+            (self._pairs[i][2], self._pairs[i][4]) for i in self._f_pos.get(fid, ())
+        ]
 
     def partner_of_object(self, oid: int) -> list[tuple[int, int]]:
-        return [(f, u) for _, f, o, _, u in self._pairs if o == oid]
+        return [
+            (self._pairs[i][1], self._pairs[i][4]) for i in self._o_pos.get(oid, ())
+        ]
+
+    def churn_info(self) -> dict[str, int | str]:
+        """Cumulative churn cost counters since construction."""
+        return {
+            "backend": self.backend,
+            "events_applied": self.events_applied,
+            "pairs_rematched": self.pairs_rematched,
+            "full_rematches": self.full_rematches,
+            "suffix_rematch_count": self.suffix_rematch_count,
+            "kernel_score_cells": self._vec.score_cells if self._vec else 0,
+            "kernel_tie_resolutions": self._vec.tie_resolutions if self._vec else 0,
+        }
 
     # ------------------------------------------------------------------
     # Events
@@ -116,8 +183,8 @@ class DynamicStableMatching:
             raise ValueError("capacity must be >= 1")
         fid = self._next_f
         self._next_f += 1
-        self._weights[fid] = tuple(weights)
-        self._f_caps[fid] = capacity
+        self._register_function(fid, tuple(weights), capacity)
+        self.events_applied += 1
         self._rematch_from(self._first_affected_by_function(fid))
         return fid
 
@@ -125,8 +192,8 @@ class DynamicStableMatching:
         if fid not in self._weights:
             raise KeyError(f"unknown function {fid}")
         cut = self._first_pair_involving(fid=fid)
-        del self._weights[fid]
-        del self._f_caps[fid]
+        self._unregister_function(fid)
+        self.events_applied += 1
         self._rematch_from(cut)
 
     def add_object(self, point: Point, capacity: int = 1) -> int:
@@ -134,8 +201,8 @@ class DynamicStableMatching:
             raise ValueError("capacity must be >= 1")
         oid = self._next_o
         self._next_o += 1
-        self._points[oid] = tuple(point)
-        self._o_caps[oid] = capacity
+        self._register_object(oid, tuple(point), capacity)
+        self.events_applied += 1
         self._rematch_from(self._first_affected_by_object(oid))
         return oid
 
@@ -144,9 +211,39 @@ class DynamicStableMatching:
         if oid not in self._points:
             raise KeyError(f"unknown object {oid}")
         cut = self._first_pair_involving(oid=oid)
+        self._unregister_object(oid)
+        self.events_applied += 1
+        self._rematch_from(cut)
+
+    # ------------------------------------------------------------------
+    # Population registry (dicts + optional columnar mirror)
+    # ------------------------------------------------------------------
+
+    def _register_function(
+        self, fid: int, weights: tuple[float, ...], capacity: int
+    ) -> None:
+        self._weights[fid] = weights
+        self._f_caps[fid] = capacity
+        if self._vec is not None:
+            self._vec.functions.add(fid, weights, capacity)
+
+    def _unregister_function(self, fid: int) -> None:
+        del self._weights[fid]
+        del self._f_caps[fid]
+        if self._vec is not None:
+            self._vec.functions.remove(fid)
+
+    def _register_object(self, oid: int, point: Point, capacity: int) -> None:
+        self._points[oid] = point
+        self._o_caps[oid] = capacity
+        if self._vec is not None:
+            self._vec.objects.add(oid, point, capacity)
+
+    def _unregister_object(self, oid: int) -> None:
         del self._points[oid]
         del self._o_caps[oid]
-        self._rematch_from(cut)
+        if self._vec is not None:
+            self._vec.objects.remove(oid)
 
     # ------------------------------------------------------------------
     # Incremental repair
@@ -155,46 +252,64 @@ class DynamicStableMatching:
     def _first_pair_involving(
         self, fid: int | None = None, oid: int | None = None
     ) -> int:
-        for i, (_, f, o, _, _) in enumerate(self._pairs):
-            if (fid is not None and f == fid) or (oid is not None and o == oid):
-                return i
-        return len(self._pairs)
+        cut = len(self._pairs)
+        if fid is not None and fid in self._f_pos:
+            cut = min(cut, self._f_pos[fid][0])
+        if oid is not None and oid in self._o_pos:
+            cut = min(cut, self._o_pos[oid][0])
+        return cut
 
     def _first_affected_by_object(self, oid: int) -> int:
         """Greedy steps strictly better than the new object's best
         conceivable pair are unaffected by its arrival."""
-        p = self._points[oid]
-        best: PairKey | None = None
-        for fid, w in self._weights.items():
-            key = pair_key(score(w, p), w, fid, p, oid)
-            if best is None or key < best:
-                best = key
+        if self._vec is not None:
+            best = self._vec.best_key_for_object(oid, self._weights)
+        else:
+            p = self._points[oid]
+            best = None
+            for fid, w in self._weights.items():
+                key = pair_key(score(w, p), w, fid, p, oid)
+                if best is None or key < best:
+                    best = key
         if best is None:
             return len(self._pairs)
-        for i, (key, *_rest) in enumerate(self._pairs):
-            if key > best:
-                return i
-        return len(self._pairs)
+        return bisect_right(self._keys, best)
 
     def _first_affected_by_function(self, fid: int) -> int:
-        w = self._weights[fid]
-        best: PairKey | None = None
-        for oid, p in self._points.items():
-            key = pair_key(score(w, p), w, fid, p, oid)
-            if best is None or key < best:
-                best = key
+        if self._vec is not None:
+            best = self._vec.best_key_for_function(fid, self._points)
+        else:
+            w = self._weights[fid]
+            best = None
+            for oid, p in self._points.items():
+                key = pair_key(score(w, p), w, fid, p, oid)
+                if best is None or key < best:
+                    best = key
         if best is None:
             return len(self._pairs)
-        for i, (key, *_rest) in enumerate(self._pairs):
-            if key > best:
-                return i
-        return len(self._pairs)
+        return bisect_right(self._keys, best)
 
     def _rematch_from(self, cut: int) -> None:
         """Keep the prefix [0, cut); greedily re-match everything not
         consumed by it."""
-        prefix = self._pairs[:cut]
         self.suffix_rematch_count = len(self._pairs) - cut
+        self.pairs_rematched += self.suffix_rematch_count
+        if cut == 0 and self._pairs:
+            self.full_rematches += 1
+
+        # Retire the old suffix from the position indexes: reverse
+        # iteration pops exactly each handle list's tail (positions are
+        # appended ascending and appear once per pair).
+        for _, fid, oid, _, _ in reversed(self._pairs[cut:]):
+            flist = self._f_pos[fid]
+            flist.pop()
+            if not flist:
+                del self._f_pos[fid]
+            olist = self._o_pos[oid]
+            olist.pop()
+            if not olist:
+                del self._o_pos[oid]
+        prefix = self._pairs[:cut]
 
         f_left = dict(self._f_caps)
         o_left = dict(self._o_caps)
@@ -202,25 +317,47 @@ class DynamicStableMatching:
             f_left[fid] -= units
             o_left[oid] -= units
 
-        free_f = [fid for fid, c in f_left.items() if c > 0]
-        free_o = [oid for oid, c in o_left.items() if c > 0]
+        free_f = [(fid, c) for fid, c in f_left.items() if c > 0]
+        free_o = [(oid, c) for oid, c in o_left.items() if c > 0]
         suffix: list[tuple[PairKey, int, int, float, int]] = []
         if free_f and free_o:
-            candidates = sorted(
-                pair_key(
-                    score(self._weights[fid], self._points[oid]),
-                    self._weights[fid], fid, self._points[oid], oid,
+            if self._vec is not None:
+                suffix = self._vec.rematch(
+                    free_f, free_o, self._weights, self._points
                 )
-                for fid in free_f
-                for oid in free_o
-            )
-            for key in candidates:
-                neg_s, _nw, fid, _np, oid = key
-                if f_left[fid] <= 0 or o_left[oid] <= 0:
-                    continue
-                units = min(f_left[fid], o_left[oid])
-                f_left[fid] -= units
-                o_left[oid] -= units
-                suffix.append((key, fid, oid, -neg_s, units))
+            else:
+                suffix = self._greedy_suffix(free_f, free_o, f_left, o_left)
 
         self._pairs = prefix + suffix
+        del self._keys[cut:]
+        for i, (key, fid, oid, _, _) in enumerate(suffix, start=cut):
+            self._keys.append(key)
+            self._f_pos.setdefault(fid, []).append(i)
+            self._o_pos.setdefault(oid, []).append(i)
+
+    def _greedy_suffix(
+        self,
+        free_f: list[tuple[int, int]],
+        free_o: list[tuple[int, int]],
+        f_left: dict[int, int],
+        o_left: dict[int, int],
+    ) -> list[tuple[PairKey, int, int, float, int]]:
+        """The interpreted reference rematch: exact keys, sorted."""
+        suffix: list[tuple[PairKey, int, int, float, int]] = []
+        candidates = sorted(
+            pair_key(
+                score(self._weights[fid], self._points[oid]),
+                self._weights[fid], fid, self._points[oid], oid,
+            )
+            for fid, _ in free_f
+            for oid, _ in free_o
+        )
+        for key in candidates:
+            neg_s, _nw, fid, _np, oid = key
+            if f_left[fid] <= 0 or o_left[oid] <= 0:
+                continue
+            units = min(f_left[fid], o_left[oid])
+            f_left[fid] -= units
+            o_left[oid] -= units
+            suffix.append((key, fid, oid, -neg_s, units))
+        return suffix

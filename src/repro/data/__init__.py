@@ -12,6 +12,7 @@ substitutes (see :mod:`repro.data.real` for the rationale).
 from repro.data.generators import (
     CohortRequest,
     anti_correlated_points,
+    churn_stream,
     clustered_weights,
     correlated_points,
     independent_points,
@@ -29,6 +30,7 @@ __all__ = [
     "FunctionSet",
     "ObjectSet",
     "anti_correlated_points",
+    "churn_stream",
     "clustered_weights",
     "correlated_points",
     "independent_points",

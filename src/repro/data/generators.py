@@ -22,7 +22,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from typing import TYPE_CHECKING
+
 from repro.data.instances import FunctionSet, ObjectSet
+
+if TYPE_CHECKING:
+    from repro.api.events import Event
 
 
 def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
@@ -236,6 +241,108 @@ def request_stream(
             catalogue=catalogue,
             functions=make_functions(cohort_size, catalogue.dims, seed=rng),
         )
+
+
+def churn_stream(
+    n_events: int,
+    functions: FunctionSet,
+    objects: ObjectSet,
+    *,
+    arrival_fraction: float = 0.5,
+    object_fraction: float = 0.7,
+    departure_skew: float = 1.1,
+    distribution: str = "anti-correlated",
+    max_capacity: int = 1,
+    max_priority: int = 1,
+    seed=None,
+) -> Iterator[Event]:
+    """Zipf-skewed churn events over a seeded population.
+
+    Models the paper's future-work scenario at the ROADMAP's "running
+    system" scale: a mostly-stable population with high-rate *edge*
+    churn.  Each event hits the object side with probability
+    ``object_fraction`` and is an arrival with probability
+    ``arrival_fraction``; departures pick a live handle Zipf-skewed by
+    *recency rank* (``departure_skew``; rank 0 is the newest arrival),
+    so recently allocated participants turn over fastest while the
+    seed population persists — the regime where suffix rematching
+    beats re-solving.  Arrivals draw points from ``distribution``,
+    weights from :func:`uniform_weights`, capacities uniform in
+    ``1..max_capacity`` and priorities in ``1..max_priority``.
+
+    Handle bookkeeping mirrors the consumers exactly — the seed
+    population holds positional handles and every arrival takes the
+    next integer on its side, matching both
+    :class:`~repro.core.dynamic.DynamicStableMatching` and
+    :meth:`AssignmentSession.apply <repro.api.session.AssignmentSession.apply>`
+    — so departure events can name handles without feedback from the
+    consumer.  A side is never churned below one live participant.
+    Deterministic for a given ``seed``.
+    """
+    if n_events < 0:
+        raise ValueError("n_events must be >= 0")
+    if not 0.0 <= arrival_fraction <= 1.0:
+        raise ValueError("arrival_fraction must be in [0, 1]")
+    if not 0.0 <= object_fraction <= 1.0:
+        raise ValueError("object_fraction must be in [0, 1]")
+    if max_capacity < 1:
+        raise ValueError("max_capacity must be >= 1")
+    if max_priority < 1:
+        raise ValueError("max_priority must be >= 1")
+    if distribution not in _OBJECT_GENERATORS:
+        raise ValueError(
+            f"unknown distribution {distribution!r}; "
+            f"expected one of {sorted(_OBJECT_GENERATORS)}"
+        )
+    # Imported lazily: repro.api sits above repro.data in the layering
+    # (api -> data for instances), so a module-level import here would
+    # initialize the two packages mutually.
+    from repro.api.events import (
+        FunctionArrived,
+        FunctionDeparted,
+        ObjectArrived,
+        ObjectDeparted,
+    )
+
+    rng = _rng(seed)
+    dims = objects.dims
+    live_f = list(range(len(functions)))
+    live_o = list(range(len(objects)))
+    next_f = len(functions)
+    next_o = len(objects)
+    gen_point = _OBJECT_GENERATORS[distribution]
+    for _ in range(n_events):
+        object_side = bool(rng.random() < object_fraction)
+        live = live_o if object_side else live_f
+        # Departures need a survivor: the matching over an empty side
+        # is trivially empty and benchmarks nothing.
+        arrival = bool(rng.random() < arrival_fraction) or len(live) <= 1
+        if arrival:
+            capacity = int(rng.integers(1, max_capacity + 1))
+            if object_side:
+                point = tuple(float(x) for x in gen_point(1, dims, rng)[0])
+                live.append(next_o)
+                next_o += 1
+                yield ObjectArrived(point=point, capacity=capacity)
+            else:
+                weights = tuple(float(x) for x in uniform_weights(1, dims, rng)[0])
+                priority = float(rng.integers(1, max_priority + 1))
+                live.append(next_f)
+                next_f += 1
+                yield FunctionArrived(
+                    weights=weights, priority=priority, capacity=capacity
+                )
+        else:
+            rank = int(
+                rng.choice(
+                    len(live), p=zipf_probabilities(len(live), departure_skew)
+                )
+            )
+            handle = live.pop(len(live) - 1 - rank)
+            if object_side:
+                yield ObjectDeparted(oid=handle)
+            else:
+                yield FunctionDeparted(fid=handle)
 
 
 def random_capacities(n: int, k: int, seed=None, fixed: bool = True) -> list[int]:

@@ -45,13 +45,17 @@ from repro.kernels.configs import (
     sb_vec_assign,
     sb_vec_config,
 )
+from repro.kernels.dynamic import MutableColumns, VectorizedChurnState
 from repro.kernels.pareto import dominated_mask, pareto_mask
 from repro.kernels.rounds import VectorizedMutualRound
-from repro.kernels.skyline import VectorizedSkylineMaintenance
+from repro.kernels.skyline import MaskSkyline, VectorizedSkylineMaintenance
 
 __all__ = [
     "ColumnarInstance",
+    "MaskSkyline",
+    "MutableColumns",
     "VECTORIZED_CONFIGS",
+    "VectorizedChurnState",
     "VectorizedMutualRound",
     "VectorizedSkylineMaintenance",
     "dominated_mask",

@@ -22,6 +22,12 @@ DeltaSky maintain — the skyline of the alive objects is unique — so
 the vectorized configs stay pair-identical to their interpreted twins
 regardless of maintenance algorithm.  I/O is 0 by construction: no
 page is ever read.
+
+:class:`MaskSkyline` is the context-free core (used both by the
+static solve twin below and by the incremental churn kernel in
+:mod:`repro.kernels.dynamic`); :class:`VectorizedSkylineMaintenance`
+adapts it to the engine's maintenance seam (``SkylineState`` dicts,
+memory gauges, member validation).
 """
 
 from __future__ import annotations
@@ -36,38 +42,36 @@ from repro.kernels.columnar import ColumnarInstance
 from repro.kernels.pareto import dominator_index, pareto_mask
 
 
-class VectorizedSkylineMaintenance:
-    """Mask-based skyline maintenance over the columnar object matrix."""
+class MaskSkyline:
+    """Mask-based skyline with reference-dominator incremental repair.
 
-    def __init__(self, ctx: EngineContext, columnar: ColumnarInstance):
-        self.columnar = columnar
-        self._objects = ctx.objects
-        self._mem = ctx.mem
-        n = columnar.num_objects
+    Pure array state over one ``n × D`` coordinate matrix: no engine
+    context, no id remapping — callers work in local row indices.
+    """
+
+    def __init__(self, points: np.ndarray):
+        self.points = points
+        n = points.shape[0]
         self.alive = np.ones(n, dtype=bool)
         self.sky_mask = np.zeros(n, dtype=bool)
         #: Index of one skyline member dominating each alive
-        #: non-skyline object; ``-1`` for members and dead objects.
+        #: non-skyline row; ``-1`` for members and dead rows.
         self.ref = np.full(n, -1, dtype=np.intp)
-        self._skyline: SkylineState = {}
-        self._computed = False
-        self._mem.set_gauge(
-            "columnar_arrays", columnar.nbytes() + 2 * n + self.ref.nbytes
-        )
-
-    @property
-    def skyline(self) -> SkylineState:
-        return self._skyline
+        self.computed = False
 
     def sky_indices(self) -> np.ndarray:
-        """Current skyline member ids, ascending."""
+        """Current skyline member rows, ascending."""
         return np.nonzero(self.sky_mask)[0]
 
-    def compute_initial(self) -> SkylineState:
-        if self._computed:
+    def nbytes(self) -> int:
+        return int(self.alive.nbytes + self.sky_mask.nbytes + self.ref.nbytes)
+
+    def compute_initial(self) -> np.ndarray:
+        """One batch Pareto pass; returns the member rows."""
+        if self.computed:
             raise RuntimeError("initial skyline already computed")
-        self._computed = True
-        points = self.columnar.points
+        self.computed = True
+        points = self.points
         self.sky_mask = pareto_mask(points)
         sky_idx = self.sky_indices()
         pool_idx = np.nonzero(~self.sky_mask)[0]
@@ -76,27 +80,22 @@ class VectorizedSkylineMaintenance:
             # definition), so every witness index is >= 0 here.
             witness = dominator_index(points[pool_idx], points[sky_idx])
             self.ref[pool_idx] = sky_idx[witness]
-        self._skyline = {int(i): self._objects.points[int(i)] for i in sky_idx}
-        return self._skyline
+        return sky_idx
 
-    def remove(self, oids: Iterable[int]) -> SkylineState:
-        if not self._computed:
+    def remove(self, removed_idx: np.ndarray) -> np.ndarray:
+        """Retire member rows; returns the rows promoted to replace
+        them (the reference-dominator repair of the module docstring).
+        """
+        if not self.computed:
             raise RuntimeError("call compute_initial() first")
-        removed = list(oids)
-        for oid in removed:
-            if not self.sky_mask[oid]:
-                raise KeyError(f"object {oid} is not a current skyline member")
-        removed_idx = np.asarray(removed, dtype=np.intp)
         self.alive[removed_idx] = False
         self.sky_mask[removed_idx] = False
-        for oid in removed:
-            del self._skyline[oid]
 
-        points = self.columnar.points
-        # (1) orphans: alive objects whose reference dominator died.
+        points = self.points
+        # (1) orphans: alive rows whose reference dominator died.
         orphan_idx = np.nonzero(self.alive & np.isin(self.ref, removed_idx))[0]
         if not orphan_idx.size:
-            return self._skyline
+            return orphan_idx
         # (2) re-home orphans a surviving member still dominates.
         survivors = self.sky_indices()
         if survivors.size:
@@ -105,7 +104,7 @@ class VectorizedSkylineMaintenance:
             self.ref[orphan_idx[found]] = survivors[witness[found]]
             orphan_idx = orphan_idx[~found]
         if not orphan_idx.size:
-            return self._skyline
+            return orphan_idx
         # (3) orphan-vs-orphan Pareto pass; losers re-home onto the
         #     promoted member that dominates them.
         promoted_local = pareto_mask(points[orphan_idx])
@@ -116,6 +115,45 @@ class VectorizedSkylineMaintenance:
         if losers.size:
             witness = dominator_index(points[losers], points[promoted])
             self.ref[losers] = promoted[witness]
+        return promoted
+
+
+class VectorizedSkylineMaintenance:
+    """The engine-facing adapter over :class:`MaskSkyline`."""
+
+    def __init__(self, ctx: EngineContext, columnar: ColumnarInstance):
+        self.columnar = columnar
+        self._objects = ctx.objects
+        self._mem = ctx.mem
+        self._core = MaskSkyline(columnar.points)
+        self._skyline: SkylineState = {}
+        self._mem.set_gauge(
+            "columnar_arrays", columnar.nbytes() + self._core.nbytes()
+        )
+
+    @property
+    def skyline(self) -> SkylineState:
+        return self._skyline
+
+    def sky_indices(self) -> np.ndarray:
+        """Current skyline member ids, ascending."""
+        return self._core.sky_indices()
+
+    def compute_initial(self) -> SkylineState:
+        sky_idx = self._core.compute_initial()
+        self._skyline = {int(i): self._objects.points[int(i)] for i in sky_idx}
+        return self._skyline
+
+    def remove(self, oids: Iterable[int]) -> SkylineState:
+        removed = list(oids)
+        if not self._core.computed:
+            raise RuntimeError("call compute_initial() first")
+        for oid in removed:
+            if not self._core.sky_mask[oid]:
+                raise KeyError(f"object {oid} is not a current skyline member")
+        for oid in removed:
+            del self._skyline[oid]
+        promoted = self._core.remove(np.asarray(removed, dtype=np.intp))
         for i in promoted:
             self._skyline[int(i)] = self._objects.points[int(i)]
         return self._skyline

@@ -25,7 +25,14 @@ config directly.
 """
 
 from repro.planner.cost import CostModel, cost_model_for, fit_power_law
-from repro.planner.plan import Plan, PlanCandidate, explicit_plan, plan_instance
+from repro.planner.plan import (
+    CHURN_COST_KEYS,
+    Plan,
+    PlanCandidate,
+    explicit_plan,
+    plan_churn,
+    plan_instance,
+)
 from repro.planner.profile import (
     FEATURE_NAMES,
     InstanceProfile,
@@ -41,6 +48,7 @@ from repro.planner.registry import (
 
 __all__ = [
     "AUTO_METHOD",
+    "CHURN_COST_KEYS",
     "CostModel",
     "FEATURE_NAMES",
     "InstanceProfile",
@@ -53,6 +61,7 @@ __all__ = [
     "explicit_plan",
     "features",
     "fit_power_law",
+    "plan_churn",
     "plan_instance",
     "profile_instance",
 ]

@@ -89,6 +89,28 @@ CALIBRATION: dict[str, tuple[float, ...]] = {
         -0.125111,
         -0.699639,
     ),
+    # Churn backends: per-EVENT seconds of the dynamic maintainer's
+    # suffix rematch (not one-shot solve time).  Fit on the shape grid
+    # of ``benchmarks/bench_churn.py --calibrate``; consumed by
+    # ``plan_churn`` to resolve ``AssignmentSession(churn_backend="auto")``.
+    "dynamic-interp": (
+        -13.630786,
+        1.341735,
+        0.841602,
+        -0.467424,
+        0.052014,
+        0.416984,
+        -0.014564,
+    ),
+    "dynamic-vec": (
+        -9.573688,
+        0.339949,
+        0.427869,
+        -0.032011,
+        -0.329634,
+        0.067722,
+        0.012599,
+    ),
 }
 
 #: Pessimistic fallback for configs without a calibrated row: a large

@@ -198,4 +198,53 @@ def explicit_plan(method: str, options: Mapping[str, Any] | None = None) -> Plan
     )
 
 
-__all__ = ["Plan", "PlanCandidate", "explicit_plan", "plan_instance"]
+#: Churn backend → its calibrated per-event cost-model key.
+CHURN_COST_KEYS: dict[str, str] = {
+    "interp": "dynamic-interp",
+    "vec": "dynamic-vec",
+}
+
+
+def plan_churn(functions: FunctionSet, objects: ObjectSet) -> Plan:
+    """Resolve the churn backend (``method="auto"`` for ``apply``).
+
+    Same discipline as :func:`plan_instance`, but the candidates are
+    the two suffix-rematch backends of
+    :class:`~repro.core.dynamic.DynamicStableMatching` and the models
+    estimate *per-event* seconds on the seed population's shape
+    (calibrated by ``benchmarks/bench_churn.py``).  The chosen backend
+    name is carried in ``options["backend"]``; deterministic for the
+    same seed instance in every process.
+    """
+    start = time.perf_counter()
+    profile = profile_instance(functions, objects)
+    x = features(profile)
+    candidates = [
+        PlanCandidate(
+            method=cost_key,
+            estimated_seconds=cost_model_for(cost_key).estimate_from_features(x),
+        )
+        for _, cost_key in sorted(CHURN_COST_KEYS.items())
+    ]
+    candidates.sort(key=lambda c: (c.estimated_seconds, c.method))
+    chosen = candidates[0]
+    backend = next(b for b, k in CHURN_COST_KEYS.items() if k == chosen.method)
+    return Plan(
+        requested=AUTO_METHOD,
+        method=chosen.method,
+        options=(("backend", backend),),
+        profile=profile,
+        candidates=tuple(candidates),
+        estimated_seconds=chosen.estimated_seconds,
+        planning_seconds=time.perf_counter() - start,
+    )
+
+
+__all__ = [
+    "CHURN_COST_KEYS",
+    "Plan",
+    "PlanCandidate",
+    "explicit_plan",
+    "plan_churn",
+    "plan_instance",
+]

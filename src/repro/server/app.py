@@ -455,10 +455,16 @@ class ReproServer:
             if self._session is not None
             else {"hits": 0, "misses": 0, "entries": 0}
         )
+        churn = (
+            self._session.churn_info()
+            if self._session is not None and self._session.has_churn_state
+            else None
+        )
         snapshot = self._metrics.snapshot(
             queue=self._admission.info(),
             solution_cache=self._solutions.info(),
             index_cache=index_info,
+            churn=churn,
         )
         snapshot["traces"] = self._traces.info()
         snapshot["log_ring"] = self._log_ring.info()

@@ -173,7 +173,14 @@ class ServerMetrics:
         queue: dict,
         solution_cache: dict,
         index_cache: dict,
+        churn: dict | None = None,
     ) -> dict:
+        """Render the ``/metrics`` document.
+
+        ``churn`` is the session's cumulative churn-counter dict (see
+        :meth:`repro.api.session.AssignmentSession.churn_info`), or
+        ``None`` when the server has no live session yet.
+        """
         return {
             "uptime_seconds": time.time() - self.started,
             "http": {
@@ -226,6 +233,7 @@ class ServerMetrics:
                 "physical_writes": self.engine_physical_writes,
                 "cpu_seconds": self.engine_cpu_seconds,
             },
+            "churn": dict(churn) if churn else {},
         }
 
 

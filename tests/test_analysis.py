@@ -211,8 +211,23 @@ def test_determinism_clean_fixture_has_no_findings():
 def test_deterministic_path_scoping():
     assert is_deterministic_path("src/repro/kernels/configs.py")
     assert is_deterministic_path("src/repro/engine/loop.py")
+    # The churn kernel is a bit-identity module: auto-covered by the
+    # kernels package scope.
+    assert is_deterministic_path("src/repro/kernels/dynamic.py")
     assert not is_deterministic_path("src/repro/server/app.py")
     assert not is_deterministic_path("tests/test_engine.py")
+
+
+def test_core_dynamic_opts_into_determinism_scope():
+    # core/ is not a blanket-deterministic package, but the dynamic
+    # maintainer carries the oracle for the vectorized churn backend —
+    # it must stay marker-covered by the REP2xx rules.
+    from pathlib import Path
+
+    from repro.analysis import DETERMINISTIC_MARKER
+
+    source = Path("src/repro/core/dynamic.py").read_text(encoding="utf-8")
+    assert DETERMINISTIC_MARKER in source
 
 
 # ---------------------------------------------------------------------------
@@ -328,17 +343,19 @@ def test_registry_rules_on_seeded_inconsistencies(tmp_path):
         plannable={"sb": "sb", "ghost": "ghost-key"},
         engine_backed=frozenset({"sb", "lost"}),
         engine_configs=frozenset({"sb", "orphan"}),
-        calibration=frozenset({"sb", "stale-key"}),
+        calibration=frozenset({"sb", "stale-key", "dynamic-vec"}),
+        churn_cost_keys=frozenset({"dynamic-interp", "dynamic-vec"}),
         root=tmp_path,
     )
     findings = check_registry(view)
     assert sorted((f.rule, f.message.split("'")[1]) for f in findings) == [
+        ("REP301", "dynamic-interp"),  # churn backend without a row
         ("REP301", "ghost"),      # plannable without a calibration row
         ("REP302", "lost"),       # engine-backed, no ENGINE_CONFIGS entry
         ("REP302", "orphan"),     # config entry no spec claims
         ("REP303", "ghost"),      # no forced-pick coverage (no test file)
         ("REP303", "sb"),
-        ("REP305", "stale-key"),  # calibration row with no spec
+        ("REP305", "stale-key"),  # row with no spec nor churn backend
     ]
 
 

@@ -1,0 +1,352 @@
+"""The columnar churn backend: three-way bit-identity (vectorized ==
+interpreted == from-scratch) after every event, the per-side partner
+indexes, the cumulative churn counters, and ``plan_churn`` routing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    AssignmentSession,
+    FunctionArrived,
+    FunctionDeparted,
+    ObjectArrived,
+    ObjectDeparted,
+    Problem,
+)
+from repro.core.dynamic import DynamicStableMatching
+from repro.data.generators import churn_stream, make_functions, make_objects
+from repro.data.instances import FunctionSet, ObjectSet
+from repro.kernels.dynamic import INITIAL_ROWS, MutableColumns
+from repro.planner import CHURN_COST_KEYS, plan_churn
+
+from .conftest import random_instance
+
+
+def from_scratch(source: DynamicStableMatching) -> DynamicStableMatching:
+    """The oracle: an interpreted bulk solve of the live population."""
+    dyn = DynamicStableMatching()
+    for fid in sorted(source._weights):
+        dyn._register_function(fid, source._weights[fid], source._f_caps[fid])
+    for oid in sorted(source._points):
+        dyn._register_object(oid, source._points[oid], source._o_caps[oid])
+    dyn._rematch_from(0)
+    return dyn
+
+
+def assert_three_way(interp: DynamicStableMatching, vec: DynamicStableMatching):
+    assert interp._pairs == vec._pairs
+    assert interp._keys == vec._keys
+    assert interp.suffix_rematch_count == vec.suffix_rematch_count
+    assert interp._pairs == from_scratch(interp)._pairs
+
+
+def drive(dyn: DynamicStableMatching, event) -> None:
+    if isinstance(event, ObjectArrived):
+        dyn.add_object(event.point, capacity=event.capacity)
+    elif isinstance(event, ObjectDeparted):
+        dyn.remove_object(event.oid)
+    elif isinstance(event, FunctionArrived):
+        effective = tuple(x * event.priority for x in event.weights)
+        dyn.add_function(effective, capacity=event.capacity)
+    else:
+        dyn.remove_function(event.fid)
+
+
+# ---------------------------------------------------------------------------
+# Tentpole: bit-identity of the vectorized backend
+# ---------------------------------------------------------------------------
+
+
+def test_seeded_stream_three_way_identity():
+    functions = make_functions(8, 3, seed=2, capacities=[2] * 8)
+    objects = make_objects(40, 3, seed=3)
+    interp = DynamicStableMatching.from_instance(functions, objects)
+    vec = DynamicStableMatching.from_instance(functions, objects, backend="vec")
+    assert_three_way(interp, vec)
+    for event in churn_stream(
+        60, functions, objects, max_capacity=3, max_priority=2, seed=4
+    ):
+        drive(interp, event)
+        drive(vec, event)
+        assert_three_way(interp, vec)
+
+
+def test_vec_backend_departing_both_sides_to_empty():
+    vec = DynamicStableMatching(backend="vec")
+    interp = DynamicStableMatching()
+    for dyn in (interp, vec):
+        f = dyn.add_function((0.5, 0.5), capacity=2)
+        o = dyn.add_object((1.0, -0.5))
+        dyn.remove_object(o)
+        dyn.remove_function(f)
+    assert interp._pairs == vec._pairs == []
+    assert vec.num_functions == 0 and vec.num_objects == 0
+
+
+@st.composite
+def churn_scenario(draw):
+    dims = draw(st.integers(1, 3))
+    value = st.sampled_from([0.0, 0.25, 0.5, 1.0])  # tie-heavy on purpose
+    coord = st.sampled_from([-1.0, -0.5, 0.0, 0.5, 1.0, 0.25])
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("af"),
+                    st.tuples(*[value] * dims),
+                    st.integers(1, 3),  # capacity
+                    st.integers(1, 3),  # priority
+                ),
+                st.tuples(
+                    st.just("ao"),
+                    st.tuples(*[coord] * dims),
+                    st.integers(1, 3),
+                    st.just(1),
+                ),
+                st.tuples(
+                    st.just("rf"), st.just(()), st.integers(0, 99), st.just(1)
+                ),
+                st.tuples(
+                    st.just("ro"), st.just(()), st.integers(0, 99), st.just(1)
+                ),
+            ),
+            min_size=1,
+            max_size=25,
+        )
+    )
+    return dims, ops
+
+
+@given(churn_scenario())
+@settings(max_examples=50, deadline=None)
+def test_random_event_sequences_three_way_identity(scenario):
+    """Arrivals/departures with multi-unit capacities and priority
+    scaling: vec == interp == from-scratch oracle after every step."""
+    _dims, ops = scenario
+    interp = DynamicStableMatching()
+    vec = DynamicStableMatching(backend="vec")
+    live_f: list[int] = []
+    live_o: list[int] = []
+    for kind, values, n, priority in ops:
+        if kind == "af":
+            w = tuple(x * priority for x in values)
+            assert interp.add_function(w, n) == vec.add_function(w, n)
+            live_f.append(interp._next_f - 1)
+        elif kind == "ao":
+            assert interp.add_object(values, n) == vec.add_object(values, n)
+            live_o.append(interp._next_o - 1)
+        elif kind == "rf" and live_f:
+            fid = live_f.pop(n % len(live_f))
+            interp.remove_function(fid)
+            vec.remove_function(fid)
+        elif kind == "ro" and live_o:
+            oid = live_o.pop(n % len(live_o))
+            interp.remove_object(oid)
+            vec.remove_object(oid)
+        assert_three_way(interp, vec)
+
+
+def test_vec_backend_rejects_mixed_dims():
+    vec = DynamicStableMatching(backend="vec")
+    vec.add_object((1.0, 2.0))
+    with pytest.raises(ValueError):
+        vec.add_object((1.0, 2.0, 3.0))
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError):
+        DynamicStableMatching(backend="bogus")
+
+
+# ---------------------------------------------------------------------------
+# Satellite: O(deg) partner indexes
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["interp", "vec"])
+def test_partner_maps_match_pair_scan(backend):
+    functions, objects = random_instance(6, 25, 3, seed=7, capacities=True)
+    dyn = DynamicStableMatching.from_instance(functions, objects, backend=backend)
+    for event in churn_stream(30, functions, objects, max_capacity=2, seed=8):
+        drive(dyn, event)
+        for fid in dyn._weights:
+            expected = [(o, u) for _, f, o, _, u in dyn._pairs if f == fid]
+            assert dyn.partner_of_function(fid) == expected
+        for oid in dyn._points:
+            expected = [(f, u) for _, f, o, _, u in dyn._pairs if o == oid]
+            assert dyn.partner_of_object(oid) == expected
+
+
+# ---------------------------------------------------------------------------
+# Satellite: cumulative churn counters
+# ---------------------------------------------------------------------------
+
+
+def test_churn_counters_accumulate():
+    functions, objects = random_instance(4, 12, 2, seed=9)
+    dyn = DynamicStableMatching.from_instance(functions, objects)
+    # Seeding is not an event and rematches nothing cumulative.
+    assert dyn.events_applied == 0
+    assert dyn.pairs_rematched == 0
+    assert dyn.full_rematches == 0
+
+    expected_rematched = 0
+    oid = dyn.add_object((2.0, 2.0))  # beats everything: full rematch
+    expected_rematched += dyn.suffix_rematch_count
+    assert dyn.events_applied == 1
+    assert dyn.full_rematches == 1
+    dyn.remove_object(oid)
+    expected_rematched += dyn.suffix_rematch_count
+    info = dyn.churn_info()
+    assert info["events_applied"] == 2
+    assert info["pairs_rematched"] == expected_rematched
+    assert info["backend"] == "interp"
+    assert info["kernel_score_cells"] == 0  # interpreted path
+
+    vec = DynamicStableMatching.from_instance(functions, objects, backend="vec")
+    vec.add_object((2.0, 2.0))
+    assert vec.churn_info()["kernel_score_cells"] > 0
+
+
+def test_rejected_event_does_not_count():
+    dyn = DynamicStableMatching()
+    dyn.add_function((1.0,))
+    with pytest.raises(KeyError):
+        dyn.remove_object(99)
+    with pytest.raises(ValueError):
+        dyn.add_object((1.0,), capacity=0)
+    assert dyn.events_applied == 1
+
+
+# ---------------------------------------------------------------------------
+# Mutable columnar store mechanics
+# ---------------------------------------------------------------------------
+
+
+def test_mutable_columns_recycle_and_grow():
+    cols = MutableColumns()
+    rows = [cols.add(h, (float(h), 1.0), 1) for h in range(INITIAL_ROWS)]
+    assert cols.data.shape[0] == INITIAL_ROWS
+    cols.remove(3)
+    # The freed row is recycled before any growth.
+    assert cols.add(100, (9.0, 9.0), 2) == rows[3]
+    cols.add(101, (1.0, 1.0), 1)  # forces a doubling
+    assert cols.data.shape[0] == 2 * INITIAL_ROWS
+    # Grown arrays preserve previous rows and the handle maps.
+    assert cols.data[cols.row_of[100]].tolist() == [9.0, 9.0]
+    assert int(cols.handle_at[cols.row_of[100]]) == 100
+    assert len(cols) == INITIAL_ROWS + 1
+    with pytest.raises(ValueError):
+        cols.add(100, (0.0, 0.0), 1)  # duplicate handle
+    # max_abs is monotone: removals never shrink the tolerance scale.
+    before = cols.max_abs
+    cols.remove(100)
+    assert cols.max_abs == before
+
+
+# ---------------------------------------------------------------------------
+# Session integration: backend routing, batches, counters, executors
+# ---------------------------------------------------------------------------
+
+
+def _problem(nf=5, no=20, dims=3, seed=13):
+    fs, os_ = random_instance(nf, no, dims, seed=seed, capacities=True)
+    return Problem.from_sets(os_, fs, method="sb")
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+def test_session_backends_bit_identical(executor):
+    problem = _problem()
+    events = list(
+        churn_stream(
+            12,
+            problem.function_set,
+            problem.object_set,
+            max_capacity=2,
+            max_priority=2,
+            seed=21,
+        )
+    )
+    with AssignmentSession(
+        problem, churn_backend="interp", executor=executor, max_workers=2
+    ) as a, AssignmentSession(problem, churn_backend="vec") as b:
+        for event in events:
+            sa = a.apply(event)
+            sb = b.apply(event)
+            assert sa == sb  # Solution equality: pairs + method
+            assert a.last_arrival_handles == b.last_arrival_handles
+            assert a.last_diff == b.last_diff
+        a.verify_current()
+        b.verify_current()
+        assert a.churn_info()["events_applied"] == len(events)
+        assert a.churn_info()["backend"] == "interp"
+        assert b.churn_info()["backend"] == "vec"
+
+
+def test_session_apply_accepts_batches():
+    problem = _problem()
+    events = list(
+        churn_stream(
+            8, problem.function_set, problem.object_set, max_capacity=2, seed=5
+        )
+    )
+    with AssignmentSession(problem, churn_backend="vec") as batched:
+        with AssignmentSession(problem, churn_backend="interp") as stepped:
+            for event in events:
+                stepped.apply(event)
+            solution = batched.apply(events)
+            assert solution == stepped.current()
+        arrivals = [
+            e for e in events if isinstance(e, (ObjectArrived, FunctionArrived))
+        ]
+        assert len(batched.last_arrival_handles) == len(arrivals)
+        stats = solution.stats
+        assert stats is not None
+        assert stats.counters["events_applied"] == len(events)
+        assert "kernel_score_cells" in stats.counters
+        assert "suffix_rematch_count" in stats.counters
+
+
+def test_session_auto_resolves_churn_backend():
+    problem = _problem(nf=3, no=12, dims=2)
+    with AssignmentSession(problem) as session:
+        session.apply(ObjectArrived(point=(0.5, 0.5)))
+        plan = session.churn_plan
+        assert plan is not None and plan.auto
+        chosen = plan.options_dict()["backend"]
+        assert chosen in ("interp", "vec")
+        assert session.churn_info()["backend"] == chosen
+        assert session.churn_info()["requested_backend"] == "auto"
+        assert {c.method for c in plan.candidates} == set(CHURN_COST_KEYS.values())
+
+
+def test_session_rejects_unknown_churn_backend():
+    with pytest.raises(ValueError):
+        AssignmentSession(_problem(), churn_backend="fast")
+
+
+def test_has_churn_state_is_lazy():
+    with AssignmentSession(_problem()) as session:
+        assert not session.has_churn_state
+        session.current()
+        assert session.has_churn_state
+
+
+# ---------------------------------------------------------------------------
+# plan_churn
+# ---------------------------------------------------------------------------
+
+
+def test_plan_churn_is_deterministic_and_shape_sensitive():
+    tiny_f = FunctionSet([(0.5, 0.5)] * 2)
+    tiny_o = ObjectSet([(0.1, 0.2)] * 8)
+    p1 = plan_churn(tiny_f, tiny_o)
+    p2 = plan_churn(tiny_f, tiny_o)
+    assert p1.method == p2.method
+    assert p1.options_dict() == p2.options_dict()
+    assert p1.options_dict()["backend"] == "interp"  # tiny: Python wins
+
+    big_f = make_functions(100, 3, seed=2)
+    big_o = make_objects(1000, 3, seed=3)
+    assert plan_churn(big_f, big_o).options_dict()["backend"] == "vec"

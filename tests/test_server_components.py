@@ -258,6 +258,18 @@ def test_server_metrics_engine_accumulation_skips_cache_hits():
     )
     assert snapshot["latency"]["sb"]["count"] == 2
     assert snapshot["engine"]["cpu_seconds"] == 0.25
+    assert snapshot["churn"] == {}  # no live session yet
+
+
+def test_server_metrics_snapshot_carries_churn_section():
+    metrics = ServerMetrics()
+    info = {"backend": "vec", "events_applied": 7, "pairs_rematched": 42}
+    snapshot = metrics.snapshot(
+        queue={"depth": 0}, solution_cache={}, index_cache={}, churn=info
+    )
+    assert snapshot["churn"] == info
+    snapshot["churn"]["events_applied"] = 0  # snapshot holds a copy
+    assert info["events_applied"] == 7
 
 
 def test_latency_histogram_bisect_matches_linear_reference():
